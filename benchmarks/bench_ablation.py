@@ -1,0 +1,109 @@
+"""Benchmarks A1/A2 — pruning ablations and curtail sensitivity.
+
+A1 regenerates the per-prune contribution table and benchmarks each
+configuration on a fixed block set, so the cost of every pruning idea is
+visible in the pytest-benchmark comparison.  A2 regenerates the paper's
+"fifty-fold lambda" observation (section 5.3).
+"""
+
+import pytest
+
+from repro.experiments import ablation
+from repro.ir.dag import DependenceDAG
+from repro.machine.presets import paper_simulation_machine
+from repro.sched.search import SearchOptions, schedule_block
+from repro.synth.population import sample_population
+
+from conftest import publish
+
+
+@pytest.fixture(scope="module")
+def fixed_dags():
+    return [
+        DependenceDAG(gb.block)
+        for gb in sample_population(40, master_seed=313)
+        if len(gb.block) > 1
+    ]
+
+
+def test_a1_regeneration(benchmark, results_dir):
+    result = benchmark.pedantic(
+        ablation.run_a1,
+        kwargs=dict(n_blocks=120, curtail=20_000),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "ablation_a1", result.render())
+    assert result.optimality_consistent
+    by_label = {r.label: r for r in result.rows}
+    default = by_label["all prunes (default)"]
+    paper_only = by_label["paper prunes only"]
+    # The added prunes must pay for themselves in omega calls.
+    assert default.avg_omega <= paper_only.avg_omega
+
+
+def test_a2_regeneration(benchmark, results_dir):
+    result = benchmark.pedantic(
+        ablation.run_a2,
+        kwargs=dict(n_blocks=600, base_curtail=1_000, multipliers=(1, 10, 50)),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "ablation_a2", result.render())
+    if result.rows:
+        base, *rest = result.rows
+        for row in rest:
+            assert row.avg_final_nops <= base.avg_final_nops + 1e-9
+
+
+@pytest.mark.parametrize(
+    "label,options",
+    [
+        ("all-prunes", SearchOptions(curtail=20_000)),
+        ("paper-prunes", SearchOptions.paper(curtail=20_000)),
+        ("no-dominance", SearchOptions(curtail=20_000, dominance_prune=False)),
+        ("no-lower-bounds", SearchOptions(curtail=20_000, lower_bound_prune=False)),
+    ],
+)
+def test_search_configuration_cost(benchmark, fixed_dags, label, options):
+    machine = paper_simulation_machine()
+
+    def run_all():
+        return sum(
+            schedule_block(dag, machine, options).omega_calls
+            for dag in fixed_dags
+        )
+
+    total_omega = benchmark(run_all)
+    benchmark.extra_info["total_omega_calls"] = total_omega
+
+
+def test_a3_regeneration(benchmark, results_dir):
+    """A3 — prepass vs postpass scheduling (the paper's motivating delta)."""
+    from repro.experiments import prepass
+
+    result = benchmark.pedantic(
+        prepass.run_a3,
+        kwargs=dict(n_blocks=100, register_files=(None, 4, 8), curtail=30_000),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "ablation_a3", result.render())
+    assert result.penalty_never_negative
+    # The headline: postpass scheduling must cost real NOPs.
+    tightest = result.rows[0]
+    assert tightest.avg_penalty > 0.5
+
+
+def test_stalls_regeneration(benchmark, results_dir):
+    """S — stall taxonomy: which kind of stall does scheduling remove?"""
+    from repro.experiments import stalls
+
+    result = benchmark.pedantic(
+        stalls.run,
+        kwargs=dict(n_blocks=200, curtail=20_000),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "stalls", result.render())
+    assert result.removed_pct("dependence") > 80.0

@@ -1,0 +1,17 @@
+"""Benchmark F1 — Figure 1: schedules searched vs block size (complete
+runs).  The expensive part (scheduling the corpus) is shared; this bench
+times the analysis and regenerates the scatter."""
+
+from repro.experiments import fig1
+
+from conftest import publish
+
+
+def test_fig1_regeneration(benchmark, population_records, results_dir):
+    result = benchmark(fig1.run_from_records, population_records)
+    publish(results_dir, "fig1", result.render())
+    points = result.points()
+    assert points, "no complete runs to plot"
+    # Paper shape: complete searches live in the 10^1..10^5 band.
+    assert max(calls for _, calls in points) < 10**6
+    benchmark.extra_info["complete_runs"] = len(points)

@@ -1,0 +1,22 @@
+"""Benchmark F4 — Figure 4: initial and final NOPs vs block size.
+
+The paper's headline figure: initial NOPs grow linearly with block size
+(~0.46/instruction) while final NOPs stay nearly constant.
+"""
+
+from repro.experiments import fig4
+from repro.experiments.runner import mean
+
+from conftest import publish
+
+
+def test_fig4_regeneration(benchmark, population_records, results_dir):
+    result = benchmark(fig4.run_from_records, population_records)
+    publish(results_dir, "fig4", result.render())
+    slope, _ = result.linear_fit()
+    assert 0.25 < slope < 0.75  # paper: linear growth, ~0.46/instruction
+    final_avg = mean(r.final_nops for r in result.records)
+    initial_avg = mean(r.initial_nops for r in result.records)
+    assert final_avg < initial_avg / 3  # the collapse the paper shows
+    benchmark.extra_info["initial_slope_per_instruction"] = round(slope, 3)
+    benchmark.extra_info["avg_final_nops"] = round(final_avg, 3)

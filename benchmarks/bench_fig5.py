@@ -1,0 +1,24 @@
+"""Benchmark F5 — Figure 5: the block-size distribution, plus the raw
+generator throughput (blocks generated+optimized per second)."""
+
+from repro.experiments import fig5
+from repro.experiments.runner import mean
+from repro.synth.population import sample_population
+
+from conftest import publish
+
+
+def test_fig5_regeneration(benchmark, population_records, results_dir):
+    result = benchmark(fig5.run_from_records, population_records)
+    publish(results_dir, "fig5", result.render())
+    sizes = [r.size for r in result.records]
+    assert 17.0 <= mean(sizes) <= 24.0  # paper: 20.6
+    benchmark.extra_info["mean_block_size"] = round(mean(sizes), 2)
+
+
+def test_generator_throughput(benchmark):
+    def generate_corpus():
+        return [gb for gb in sample_population(60, master_seed=4)]
+
+    blocks = benchmark(generate_corpus)
+    assert len(blocks) == 60

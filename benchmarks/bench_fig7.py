@@ -1,0 +1,18 @@
+"""Benchmark F7 — Figure 7: percentage of provably optimal schedules vs
+block size (paper: ~100% through common sizes, 98.83% overall)."""
+
+from repro.experiments import fig7
+
+from conftest import publish
+
+
+def test_fig7_regeneration(benchmark, population_records, results_dir):
+    result = benchmark(fig7.run_from_records, population_records)
+    publish(results_dir, "fig7", result.render())
+    assert result.overall_percentage >= 95.0
+    series = result.series()
+    # Small blocks are always provably optimal, as in the paper.
+    assert series[0][1] == 100.0
+    benchmark.extra_info["overall_percent_optimal"] = round(
+        result.overall_percentage, 2
+    )

@@ -1,0 +1,36 @@
+"""Benchmark K — the realistic-kernel scheduler comparison, plus the
+end-to-end compile cost of a representative kernel."""
+
+from repro.driver import compile_source
+from repro.experiments import kernels as kernels_experiment
+from repro.machine.presets import paper_simulation_machine
+from repro.synth.kernels import get_kernel
+
+from conftest import publish
+
+
+def test_kernels_regeneration(benchmark, results_dir):
+    result = benchmark.pedantic(kernels_experiment.run, rounds=1, iterations=1)
+    publish(results_dir, "kernels", result.render())
+    assert all(r.optimal_proved for r in result.rows)
+    speedups = {r.kernel: r.speedup for r in result.rows}
+    assert speedups["horner5"] == 1.0  # serial chain: nothing to hide
+    assert speedups["fir3"] > 1.5  # parallel taps: plenty to hide
+    benchmark.extra_info["speedups"] = {
+        k: round(v, 2) for k, v in speedups.items()
+    }
+
+
+def test_compile_dot4_end_to_end(benchmark):
+    """Full pipeline cost on one kernel: parse -> optimize -> schedule ->
+    allocate -> emit -> simulate-verify."""
+    kernel = get_kernel("dot4")
+    machine = paper_simulation_machine()
+    result = benchmark(
+        compile_source,
+        kernel.source,
+        machine,
+        "optimal",
+        verify_memory=kernel.memory,
+    )
+    assert result.search.completed

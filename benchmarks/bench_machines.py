@@ -1,0 +1,20 @@
+"""Benchmark M — the pipeline-structure design-space sweep (§6's
+"ongoing work ... various (more complex) pipeline structures")."""
+
+from repro.experiments import machines
+
+from conftest import publish
+
+
+def test_machines_sweep_regeneration(benchmark, results_dir):
+    result = benchmark.pedantic(
+        machines.run,
+        kwargs=dict(n_blocks=100, curtail=20_000),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "machines", result.render())
+    for row in result.rows:
+        assert row.avg_optimal_nops <= row.avg_naive_nops
+    # The scheduler hides most of the stall budget on every structure.
+    assert min(r.hidden_pct for r in result.rows) > 30.0

@@ -1,0 +1,75 @@
+"""Benchmark X2 — block splitting for very large blocks (section 5.3):
+window-by-window locally-optimal scheduling vs the monolithic search,
+under both the paper's prune set and the full one."""
+
+import pytest
+
+from repro.experiments import extension
+from repro.ir.dag import DependenceDAG
+from repro.machine.presets import paper_simulation_machine
+from repro.sched.search import SearchOptions, schedule_block
+from repro.sched.splitting import schedule_block_split
+from repro.synth.population import PopulationSpec, sample_population
+
+from conftest import publish
+
+
+@pytest.fixture(scope="module")
+def large_dags():
+    spec = PopulationSpec(
+        statement_shape=30.0,
+        statement_scale=1.6,
+        min_statements=30,
+        max_statements=80,
+        min_variables=10,
+        max_variables=24,
+        min_constants=4,
+        max_constants=10,
+    )
+    dags = []
+    for gb in sample_population(60, master_seed=500, spec=spec):
+        if len(gb.block) >= 40:
+            dags.append(DependenceDAG(gb.block))
+        if len(dags) == 8:
+            break
+    return dags
+
+
+def test_x2_regeneration(benchmark, results_dir):
+    result = benchmark.pedantic(
+        extension.run_x2,
+        kwargs=dict(n_blocks=20, curtail=50_000),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "extension_x2", result.render())
+    mono_paper, mono_full, split = result.rows
+    assert split.avg_nops >= mono_full.avg_nops
+    # Splitting's omega ceiling is per-window; its worst case must undercut
+    # the paper-prune monolithic worst case.
+    assert split.max_omega <= mono_paper.max_omega * 2
+
+
+def test_split_scheduler_cost(benchmark, large_dags):
+    machine = paper_simulation_machine()
+
+    def run_all():
+        return sum(
+            schedule_block_split(dag, machine, window=20, curtail_per_window=5_000).total_nops
+            for dag in large_dags
+        )
+
+    benchmark(run_all)
+
+
+def test_monolithic_scheduler_cost(benchmark, large_dags):
+    machine = paper_simulation_machine()
+    options = SearchOptions(curtail=50_000)
+
+    def run_all():
+        return sum(
+            schedule_block(dag, machine, options).final_nops
+            for dag in large_dags
+        )
+
+    benchmark(run_all)

@@ -1,0 +1,62 @@
+"""Benchmark T1 — Table 1: search-space pruning on representative blocks.
+
+Regenerates the table (exhaustive n!, legal-only schedule counts, and the
+proposed search's Ω calls for blocks of 8-22 instructions) and benchmarks
+the proposed search on a paper-sized 15-instruction block — the block the
+paper prices at "just under 5 years" exhaustively and "about 0.01
+seconds" with pruning.
+"""
+
+import pytest
+
+from repro.experiments import table1
+from repro.ir.dag import DependenceDAG
+from repro.machine.presets import paper_simulation_machine
+from repro.sched.search import SearchOptions, schedule_block
+from repro.synth.population import sample_population
+
+from conftest import publish
+
+
+@pytest.fixture(scope="module")
+def fifteen_instruction_dag():
+    for gb in sample_population(20_000, master_seed=151):
+        if len(gb.block) == 15:
+            return DependenceDAG(gb.block)
+    raise RuntimeError("no 15-instruction block found")  # pragma: no cover
+
+
+def test_table1_regeneration(benchmark, results_dir):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    publish(results_dir, "table1", result.render())
+    assert len(result.rows) == len(table1.PAPER_SIZES)
+    for row in result.rows:
+        # The pruned searches must touch a vanishing fraction of n!.
+        assert row.proposed_calls_all_prunes < row.exhaustive_calls
+    benchmark.extra_info["rows"] = [
+        (r.size, r.proposed_calls_paper_prunes, r.proposed_calls_all_prunes)
+        for r in result.rows
+    ]
+
+
+def test_fifteen_instruction_block_seconds(benchmark, fifteen_instruction_dag):
+    """Paper section 2.3: 15 instructions = 15! = 1.3e12 exhaustive calls
+    (~5 years at 0.12 ms each); the pruned search lands near 0.01 s."""
+    machine = paper_simulation_machine()
+    result = benchmark(
+        schedule_block, fifteen_instruction_dag, machine, SearchOptions()
+    )
+    assert result.completed
+    benchmark.extra_info["omega_calls"] = result.omega_calls
+    benchmark.extra_info["exhaustive_equivalent"] = "15! = 1,307,674,368,000"
+
+
+def test_paper_prune_search_on_same_block(benchmark, fifteen_instruction_dag):
+    machine = paper_simulation_machine()
+    result = benchmark(
+        schedule_block,
+        fifteen_instruction_dag,
+        machine,
+        SearchOptions.paper(curtail=200_000),
+    )
+    benchmark.extra_info["omega_calls"] = result.omega_calls

@@ -1,0 +1,39 @@
+"""Benchmark T7 — Table 7: statistics for scheduling the block corpus.
+
+Benchmarks the full per-block scheduling pipeline (DAG + seed + optimal
+search) at corpus scale and regenerates the paper's summary table.
+"""
+
+from repro.experiments import table7
+from repro.experiments.runner import DEFAULT_CURTAIL, run_population
+
+from conftest import bench_population_size, publish
+
+
+def test_table7_regeneration(benchmark, population_records, results_dir):
+    result = benchmark.pedantic(
+        table7.run_from_records,
+        args=(population_records, DEFAULT_CURTAIL),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "table7", result.render())
+    complete = result.column(result.complete)
+    # Shape assertions mirroring the paper's headline row.
+    assert complete["percentage"] >= 95.0
+    assert complete["avg_final_nops"] < complete["avg_initial_nops"] / 3
+    benchmark.extra_info["summary"] = result.summary_line()
+
+
+def test_population_scheduling_throughput(benchmark):
+    """End-to-end blocks/second (paper: ~100 blocks/s on a Sun 3/50)."""
+    n = max(20, bench_population_size() // 10)
+    records = benchmark.pedantic(
+        run_population,
+        args=(n,),
+        kwargs=dict(curtail=DEFAULT_CURTAIL, master_seed=77),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(records) == n
+    benchmark.extra_info["blocks"] = n

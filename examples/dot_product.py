@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Scheduling a scientific kernel: an unrolled dot product.
+
+The paper's motivation (section 1) is hiding pipeline latency in exactly
+this kind of code: a multiply-accumulate chain whose naive emission stalls
+on every multiplier result.  This example unrolls ``acc += v[i] * w[i]``
+four ways, compiles it with each scheduler, and compares the pipelined
+execution time on the Tables 4+5 machine — then shows what happens on a
+deeper memory pipeline.
+
+Run:  python examples/dot_product.py
+"""
+
+from repro import compile_source, paper_simulation_machine
+from repro.machine import deep_memory_machine
+
+KERNEL = """
+{
+    acc = acc + v1 * w1;
+    acc = acc + v2 * w2;
+    acc = acc + v3 * w3;
+    acc = acc + v4 * w4;
+}
+"""
+
+MEMORY = {
+    "acc": 0,
+    "v1": 1, "w1": 2,
+    "v2": 3, "w2": 4,
+    "v3": 5, "w3": 6,
+    "v4": 7, "w4": 8,
+}
+EXPECTED = 1 * 2 + 3 * 4 + 5 * 6 + 7 * 8
+
+
+def compare(machine) -> None:
+    print(f"--- {machine.name} ---")
+    rows = []
+    for scheduler in ("none", "list", "greedy", "gross", "optimal"):
+        result = compile_source(
+            KERNEL, machine, scheduler=scheduler, verify_memory=MEMORY
+        )
+        rows.append(
+            (
+                scheduler,
+                result.total_nops,
+                result.issue_span_cycles,
+                len(result.block),
+            )
+        )
+    base = rows[0][2]
+    print(f"{'scheduler':<10} {'NOPs':>5} {'cycles':>7} {'speedup':>8}")
+    for name, nops, cycles, size in rows:
+        print(f"{name:<10} {nops:>5} {cycles:>7} {base / cycles:>7.2f}x")
+    print(f"(block size: {rows[0][3]} instructions; acc == {EXPECTED} verified)\n")
+
+
+def main() -> None:
+    compare(paper_simulation_machine())
+    # On a deep memory pipeline (8-tick loads), scheduling matters even
+    # more: there is a lot more latency to hide.
+    compare(deep_memory_machine())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Very large basic blocks: monolithic optimal search vs splitting.
+
+Section 5.3: "For very large basic blocks, it might be useful to split
+the basic blocks into smaller sections ... A good heuristic for the split
+might be to simply partition the list schedule."  Trace-scheduled or
+hand-unrolled loop bodies produce exactly such blocks (section 6 mentions
+trace scheduling as future work).
+
+This example builds a 16x-unrolled multiply-accumulate loop body
+(~80 tuples), then schedules it monolithically (paper prune set and full
+prune set) and window-by-window, reporting NOPs, Ω calls, and runtime.
+
+Run:  python examples/large_blocks.py
+"""
+
+import time
+
+from repro import paper_simulation_machine
+from repro.frontend import lower_source
+from repro.ir import DependenceDAG
+from repro.opt import optimize_block
+from repro.sched import SearchOptions, schedule_block, schedule_block_split
+
+
+def unrolled_kernel(factor: int) -> str:
+    lines = []
+    for i in range(factor):
+        lines.append(f"acc{i % 4} = acc{i % 4} + v{i} * w{i};")
+    lines.append("acc0 = acc0 + acc1;")
+    lines.append("acc2 = acc2 + acc3;")
+    lines.append("total = acc0 + acc2;")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    machine = paper_simulation_machine()
+    block = optimize_block(lower_source(unrolled_kernel(16)))
+    dag = DependenceDAG(block)
+    print(f"unrolled kernel: {len(block)} tuples, "
+          f"{dag.critical_path_length}-deep dependence chain\n")
+
+    print(f"{'scheduler':<28} {'NOPs':>5} {'omega':>8} {'seconds':>8} {'status':<10}")
+
+    start = time.perf_counter()
+    paper = schedule_block(dag, machine, SearchOptions.paper(curtail=100_000))
+    print(
+        f"{'monolithic (paper prunes)':<28} {paper.final_nops:>5} "
+        f"{paper.omega_calls:>8} {time.perf_counter() - start:>8.3f} "
+        f"{'optimal' if paper.completed else 'truncated':<10}"
+    )
+
+    start = time.perf_counter()
+    full = schedule_block(dag, machine, SearchOptions(curtail=100_000))
+    print(
+        f"{'monolithic (all prunes)':<28} {full.final_nops:>5} "
+        f"{full.omega_calls:>8} {time.perf_counter() - start:>8.3f} "
+        f"{'optimal' if full.completed else 'truncated':<10}"
+    )
+
+    for window in (10, 20, 40):
+        start = time.perf_counter()
+        split = schedule_block_split(
+            dag, machine, window=window, curtail_per_window=5_000
+        )
+        status = "local-opt" if split.all_windows_completed else "truncated"
+        print(
+            f"{f'split (window={window})':<28} {split.total_nops:>5} "
+            f"{split.omega_calls:>8} {time.perf_counter() - start:>8.3f} "
+            f"{status:<10}"
+        )
+
+    print(
+        "\nReading: splitting bounds worst-case work per window (its omega"
+        "\nceiling is windows x lambda) at a usually-small NOP premium over"
+        "\nthe monolithic optimum — the paper's 1990 escape hatch, which the"
+        "\nstronger prunes have mostly obsoleted at this block size."
+    )
+
+
+if __name__ == "__main__":
+    main()

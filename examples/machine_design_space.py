@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Architecture design-space sweep: how much latency can scheduling hide?
+
+Section 6 of the paper points at "performance using various (more
+complex) pipeline structures" as the next question.  This example sweeps
+the multiplier latency and enqueue time of a two-pipe machine and reports,
+for a corpus of synthetic blocks, the stall cycles per block before and
+after optimal scheduling — the compiler's view of a hardware trade-off.
+
+Run:  python examples/machine_design_space.py
+"""
+
+from repro.ir import DependenceDAG, Opcode
+from repro.machine import MachineDescription, PipelineDesc
+from repro.sched import SearchOptions, compute_timing, program_order, schedule_block
+from repro.synth import sample_population
+
+
+def machine_with(mul_latency: int, mul_enqueue: int) -> MachineDescription:
+    return MachineDescription(
+        name=f"mul-l{mul_latency}-e{mul_enqueue}",
+        pipelines=[
+            PipelineDesc("loader", 1, latency=2, enqueue_time=1),
+            PipelineDesc("multiplier", 2, mul_latency, mul_enqueue),
+        ],
+        op_map={Opcode.LOAD: {1}, Opcode.MUL: {2}, Opcode.DIV: {2}},
+    )
+
+
+def main() -> None:
+    corpus = [
+        DependenceDAG(gb.block)
+        for gb in sample_population(60, master_seed=42)
+        if len(gb.block) > 1
+    ]
+    options = SearchOptions(curtail=20_000)
+
+    print(
+        f"{'machine':<12} {'naive NOPs':>11} {'optimal NOPs':>13} "
+        f"{'hidden':>7} {'% optimal proofs':>17}"
+    )
+    for latency in (2, 4, 6, 8):
+        for enqueue in sorted({1, 2, latency}):
+            if enqueue > latency:
+                continue
+            machine = machine_with(latency, enqueue)
+            naive = optimal = proofs = 0
+            for dag in corpus:
+                naive += compute_timing(
+                    dag, program_order(dag), machine
+                ).total_nops
+                result = schedule_block(dag, machine, options)
+                optimal += result.final_nops
+                proofs += result.completed
+            hidden = 100.0 * (naive - optimal) / naive if naive else 100.0
+            print(
+                f"{machine.name:<12} {naive / len(corpus):>11.2f} "
+                f"{optimal / len(corpus):>13.2f} {hidden:>6.1f}% "
+                f"{100.0 * proofs / len(corpus):>16.1f}%"
+            )
+
+    print(
+        "\nReading: 'hidden' is the fraction of naive stall cycles the"
+        "\noptimal scheduler eliminates; deeper/busier multipliers leave"
+        "\nmore irreducible stalls, but most of the latency stays hidden."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Why schedule before register allocation?  (sections 1 and 3.4)
+
+"The register assignment can impose unnecessary restrictions on the
+schedule, resulting in unnecessary execution delays."  This example
+makes the claim concrete on two independent multiply chains: allocate
+registers first (as a postpass scheduler must live with) and the
+allocator's register reuse serializes them; schedule the tuple form
+first (the paper's design) and they interleave freely.
+
+Run:  python examples/postpass_penalty.py
+"""
+
+from repro import paper_simulation_machine
+from repro.analysis import render_timeline
+from repro.frontend import lower_source
+from repro.ir import DependenceDAG, format_block
+from repro.postpass import postpass_dag, register_reuse_edges
+from repro.regalloc import allocate_registers
+from repro.sched import schedule_block
+
+SOURCE = "p = a * a; q = b * b;"
+
+
+def main() -> None:
+    machine = paper_simulation_machine()
+    block = lower_source(SOURCE)
+    print("tuple code (no registers yet):")
+    print(format_block(block))
+
+    true_dag = DependenceDAG(block)
+    allocation = allocate_registers(block)  # program order, tightest file
+    reuse = register_reuse_edges(block, allocation)
+    print(
+        f"\nallocating {allocation.num_registers_used} registers over "
+        f"program order adds {len(reuse)} artificial dependences:"
+    )
+    for edge in reuse:
+        print(f"  {edge}")
+
+    prepass = schedule_block(true_dag, machine)
+    constrained, _ = postpass_dag(block)
+    postpass = schedule_block(constrained, machine)
+
+    print(
+        f"\nprepass (schedule, then allocate):   "
+        f"{prepass.final_nops} NOPs over "
+        f"{prepass.best.issue_span_cycles} cycles"
+    )
+    print(render_timeline(block, machine, prepass.best, dag=true_dag))
+    print(
+        f"\npostpass (allocate, then schedule):  "
+        f"{postpass.final_nops} NOPs over "
+        f"{postpass.best.issue_span_cycles} cycles"
+    )
+    print(render_timeline(block, machine, postpass.best, dag=constrained))
+    print(
+        f"\npenalty: {postpass.final_nops - prepass.final_nops} NOPs — "
+        "both searches are optimal; the difference is purely the\n"
+        "artificial register-reuse dependences (run "
+        "`repro-experiments ablation-a3` for the population-level sweep)"
+    )
+
+
+if __name__ == "__main__":
+    main()

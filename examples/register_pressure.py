@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Scheduling before register allocation, with a real register budget.
+
+Section 3 of the paper argues for scheduling the tuple form *before*
+registers are assigned: a postpass scheduler inherits artificial
+anti-dependences from register reuse, while the tuple scheduler only sees
+true dependences.  Spill code is created up front (section 3.1) so that
+allocation after scheduling never needs new spills.
+
+This example compiles a register-hungry expression under shrinking
+register files and shows the three-way trade: spill instructions added,
+NOPs achieved, and registers used.
+
+Run:  python examples/register_pressure.py
+"""
+
+from repro import compile_source, paper_simulation_machine
+from repro.frontend import lower_source
+from repro.regalloc import insert_spill_code, max_live
+
+SOURCE = """
+{
+    s = a * b;
+    t = c * d;
+    u = e * f;
+    v = g * h;
+    x = s + t;
+    y = u + v;
+    z = x + y;
+    r = z + s;
+    q = r + t;
+}
+"""
+
+MEMORY = {v: i + 2 for i, v in enumerate("abcdefgh")}
+
+
+def main() -> None:
+    machine = paper_simulation_machine()
+    block = lower_source(SOURCE)
+    unconstrained = compile_source(SOURCE, machine, verify_memory=MEMORY)
+    print(
+        f"program-order register pressure: {max_live(block)} values live\n"
+        f"unconstrained optimal schedule: {unconstrained.total_nops} NOPs, "
+        f"{unconstrained.allocation.num_registers_used} registers\n"
+    )
+
+    print(f"{'registers':>9} {'spill code':>11} {'block size':>11} "
+          f"{'NOPs':>5} {'cycles':>7}")
+    for k in (8, 6, 5, 4, 3):
+        report = insert_spill_code(block, k)
+        result = compile_source(
+            SOURCE, machine, num_registers=k, verify_memory=MEMORY
+        )
+        added = report.spill_stores + report.reloads
+        print(
+            f"{k:>9} {added:>11} {len(result.block):>11} "
+            f"{result.total_nops:>5} {result.issue_span_cycles:>7}"
+        )
+
+    print(
+        "\nReading: each tightening of the register file inserts spill"
+        "\nstores/reloads before scheduling; the scheduler then works"
+        "\nwithin the budget (max_live constraint), so allocation never"
+        "\nfails — at the price of a longer schedule."
+    )
+
+
+if __name__ == "__main__":
+    main()

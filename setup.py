@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so ``pip install -e .``
+cannot build a PEP 660 editable wheel; this shim lets pip fall back to the
+``setup.py develop`` editable path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

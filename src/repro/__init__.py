@@ -1,0 +1,107 @@
+"""repro — reproduction of Nisar & Dietz, *Optimal Code Scheduling for
+Multiple-Pipeline Processors* (Purdue TR-EE 90-11 / ICPP 1990).
+
+Public API tour
+---------------
+- :mod:`repro.ir` — the tuple intermediate form, basic blocks, the
+  dependence DAG, a reference interpreter, and the paper's linear
+  notation (Figure 3).
+- :mod:`repro.frontend` — the example source language, lowered to tuples.
+- :mod:`repro.opt` — constant folding/propagation, CSE, DCE, peephole.
+- :mod:`repro.machine` — pipeline description tables and presets
+  (including the paper's Tables 2-5 machines).
+- :mod:`repro.sched` — NOP insertion (Ω), the list-scheduling seed, the
+  optimal branch-and-bound search, heuristic and exhaustive baselines,
+  and the multi-pipeline / block-splitting extensions.
+- :mod:`repro.regalloc` — post-scheduling register assignment and the
+  pre-scheduling spill pass.
+- :mod:`repro.codegen` — assembly emission in all three delay
+  disciplines of section 2.2.
+- :mod:`repro.simulator` — a cycle-accurate multi-pipeline simulator.
+- :mod:`repro.synth` — the synthetic benchmark generator of section 5.2.
+- :mod:`repro.experiments` — one module per paper table/figure.
+
+Quick start
+-----------
+>>> from repro import compile_source, paper_simulation_machine
+>>> result = compile_source("b = 15; a = b * a;", paper_simulation_machine())
+>>> result.search.completed
+True
+>>> print(result.assembly)          # doctest: +SKIP
+"""
+
+from .driver import (
+    CompilationResult,
+    ProgramCompilation,
+    VerificationError,
+    compile_program,
+    compile_source,
+    verify_compilation,
+    verify_program,
+)
+from .ir import (
+    BasicBlock,
+    BlockBuilder,
+    DependenceDAG,
+    IRTuple,
+    Opcode,
+    format_block,
+    parse_block,
+    run_block,
+)
+from .machine import (
+    MachineDescription,
+    PipelineDesc,
+    get_machine,
+    paper_example_machine,
+    paper_simulation_machine,
+)
+from .sched import (
+    InitialConditions,
+    SearchOptions,
+    SearchResult,
+    compute_timing,
+    list_schedule,
+    schedule_block,
+    schedule_block_multi,
+    schedule_block_split,
+    schedule_sequence,
+)
+from .analysis import explain_schedule, render_timeline
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CompilationResult",
+    "ProgramCompilation",
+    "compile_program",
+    "verify_program",
+    "VerificationError",
+    "compile_source",
+    "verify_compilation",
+    "BasicBlock",
+    "BlockBuilder",
+    "DependenceDAG",
+    "IRTuple",
+    "Opcode",
+    "format_block",
+    "parse_block",
+    "run_block",
+    "MachineDescription",
+    "PipelineDesc",
+    "get_machine",
+    "paper_example_machine",
+    "paper_simulation_machine",
+    "InitialConditions",
+    "SearchOptions",
+    "SearchResult",
+    "schedule_sequence",
+    "explain_schedule",
+    "render_timeline",
+    "compute_timing",
+    "list_schedule",
+    "schedule_block",
+    "schedule_block_multi",
+    "schedule_block_split",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Schedule analysis: pipeline timelines, stall attribution, utilization."""
+
+from .timeline import (
+    StallExplanation,
+    explain_schedule,
+    pipeline_utilization,
+    render_timeline,
+    stall_breakdown,
+)
+
+__all__ = [
+    "StallExplanation",
+    "explain_schedule",
+    "pipeline_utilization",
+    "render_timeline",
+    "stall_breakdown",
+]

@@ -1,0 +1,310 @@
+"""Command-line compiler: ``repro-compile``.
+
+Drives the whole Figure-2 back end from a shell::
+
+    repro-compile program.src                         # paper machine, optimal
+    repro-compile -e "b = 15; a = b * a;" --show all
+    repro-compile program.src --machine deep-memory --scheduler gross
+    repro-compile program.src --machine @mymachine.txt --registers 8
+    repro-compile program.src --discipline explicit-interlock
+    repro-compile program.src --verify "a=3,b=0"
+
+``--machine`` accepts a preset name (see ``--list-machines``) or
+``@path`` to a machine-description file (``repro.machine.serialize``
+format).  Exit status is non-zero on compile or verification failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from .codegen.assembly import DelayDiscipline
+from .driver import SCHEDULERS, compile_block, compile_program, compile_source
+from .ir.textual import format_block
+from .machine.presets import PRESETS, get_machine
+from .machine.serialize import load_machine
+from .sched.search import SearchOptions
+
+_DISCIPLINES = {d.value: d for d in DelayDiscipline}
+
+SHOW_CHOICES = ("asm", "tuples", "dag", "schedule", "timeline", "explain", "stats", "all")
+
+
+def _parse_memory(text: str) -> Dict[str, int]:
+    """Parse ``a=3,b=15`` into an initial-memory mapping."""
+    out: Dict[str, int] = {}
+    for piece in text.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        if "=" not in piece:
+            raise argparse.ArgumentTypeError(
+                f"memory entries look like name=value (got {piece!r})"
+            )
+        name, _, value = piece.partition("=")
+        try:
+            out[name.strip()] = int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"memory value for {name.strip()!r} is not an integer"
+            ) from None
+    return out
+
+
+def _resolve_machine(spec: str):
+    if spec.startswith("@"):
+        return load_machine(spec[1:])
+    return get_machine(spec)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-compile",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "source", nargs="?", help="source file ('-' for stdin)"
+    )
+    parser.add_argument(
+        "-e", "--expr", metavar="CODE", help="compile CODE instead of a file"
+    )
+    parser.add_argument(
+        "--machine",
+        default="paper-simulation",
+        help="preset name or @path to a machine file (default: paper-simulation)",
+    )
+    parser.add_argument(
+        "--list-machines", action="store_true", help="list preset machines and exit"
+    )
+    parser.add_argument(
+        "--scheduler", choices=SCHEDULERS, default="optimal"
+    )
+    parser.add_argument(
+        "--discipline",
+        choices=sorted(_DISCIPLINES),
+        default=DelayDiscipline.NOP_PADDED.value,
+    )
+    parser.add_argument(
+        "--registers", type=int, default=None, metavar="K",
+        help="register-file size (enables the spill pre-pass and the "
+        "pressure-constrained search)",
+    )
+    parser.add_argument(
+        "--curtail", type=int, default=SearchOptions().curtail, metavar="LAMBDA",
+        help="search curtail point (omega-call budget)",
+    )
+    parser.add_argument(
+        "--no-optimize", action="store_true", help="skip the classical optimizer"
+    )
+    parser.add_argument(
+        "--tuples",
+        action="store_true",
+        help="input is linear tuple notation (Figure 3) instead of source",
+    )
+    parser.add_argument(
+        "--verify", type=_parse_memory, default=None, metavar="MEM",
+        help='simulate against source semantics from initial memory "a=3,b=0"',
+    )
+    parser.add_argument(
+        "--show",
+        action="append",
+        choices=SHOW_CHOICES,
+        default=None,
+        help="what to print (repeatable; default: asm)",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None, help="write assembly to a file"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_machines:
+        for name in sorted(PRESETS):
+            machine = get_machine(name)
+            pipes = ", ".join(
+                f"{p.function}(l{p.latency}/e{p.enqueue_time})"
+                for p in machine.pipelines
+            )
+            print(f"{name:<20} {pipes}")
+        return 0
+
+    if args.expr is not None and args.source:
+        parser.error("give either a source file or -e CODE, not both")
+    if args.expr is not None:
+        source = args.expr
+    elif args.source == "-":
+        source = sys.stdin.read()
+    elif args.source:
+        try:
+            with open(args.source) as fh:
+                source = fh.read()
+        except OSError as exc:
+            print(f"repro-compile: {exc}", file=sys.stderr)
+            return 2
+    else:
+        parser.error("no source given (file, '-', or -e CODE)")
+
+    try:
+        machine = _resolve_machine(args.machine)
+    except (KeyError, OSError, ValueError) as exc:
+        print(f"repro-compile: {exc}", file=sys.stderr)
+        return 2
+
+    show = set(args.show or ["asm"])
+    if "all" in show:
+        show = set(SHOW_CHOICES) - {"all"}
+
+    multi_block = (not args.tuples) and "barrier" in source
+    try:
+        if args.tuples:
+            from .ir.textual import parse_block
+
+            if args.verify is not None:
+                print(
+                    "repro-compile: --verify requires source input "
+                    "(tuple code has no source semantics to check against)",
+                    file=sys.stderr,
+                )
+                return 2
+            result = compile_block(
+                parse_block(source),
+                machine,
+                scheduler=args.scheduler,
+                options=SearchOptions(curtail=args.curtail),
+                # Hand-written tuples are the intended code: never optimized.
+                optimize=False,
+                num_registers=args.registers,
+                discipline=_DISCIPLINES[args.discipline],
+            )
+        elif multi_block:
+            compiled = compile_program(
+                source,
+                machine,
+                scheduler=args.scheduler,
+                options=SearchOptions(curtail=args.curtail),
+                optimize=not args.no_optimize,
+                num_registers=args.registers,
+                discipline=_DISCIPLINES[args.discipline],
+                verify_memory=args.verify,
+            )
+            return _emit_program(compiled, show, args)
+        else:
+            result = compile_source(
+                source,
+                machine,
+                scheduler=args.scheduler,
+                options=SearchOptions(curtail=args.curtail),
+                optimize=not args.no_optimize,
+                num_registers=args.registers,
+                discipline=_DISCIPLINES[args.discipline],
+                verify_memory=args.verify,
+            )
+    except Exception as exc:
+        print(f"repro-compile: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+    chunks: List[str] = []
+    if "tuples" in show:
+        chunks.append("; tuple code\n" + format_block(result.block))
+    if "dag" in show:
+        chunks.append(str(result.dag))
+    if "schedule" in show:
+        pairs = ", ".join(
+            f"{ident}@{t}" for ident, t in
+            zip(result.timing.order, result.timing.issue_times)
+        )
+        chunks.append(f"; schedule (ident@cycle): {pairs}")
+    if "timeline" in show:
+        from .analysis import render_timeline
+
+        chunks.append(
+            render_timeline(
+                result.block, machine, result.timing, dag=result.dag
+            )
+        )
+    if "explain" in show:
+        from .analysis import explain_schedule
+
+        explanations = explain_schedule(
+            result.block, machine, result.timing, dag=result.dag
+        )
+        chunks.append(
+            "\n".join(f"; {e}" for e in explanations if e.eta > 0)
+            or "; no stalls anywhere"
+        )
+    if "asm" in show:
+        chunks.append(str(result.assembly))
+    if "stats" in show:
+        stats = [
+            f"; instructions: {len(result.block)}",
+            f"; NOPs: {result.total_nops}",
+            f"; issue span: {result.issue_span_cycles} cycles",
+            f"; registers used: {result.allocation.num_registers_used}",
+        ]
+        if result.search is not None:
+            stats.append(
+                f"; search: {result.search.omega_calls} omega calls, "
+                + ("provably optimal" if result.search.completed else "truncated")
+            )
+        if args.verify is not None:
+            stats.append("; verification: simulated output matches source semantics")
+        chunks.append("\n".join(stats))
+
+    text = "\n\n".join(chunks) + "\n"
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _emit_program(compiled, show, args) -> int:
+    """Render a multi-block (barrier-partitioned) compilation."""
+    chunks: List[str] = []
+    if "tuples" in show:
+        chunks.extend(
+            f"; tuple code, block {i}\n" + format_block(b.block)
+            for i, b in enumerate(compiled.blocks)
+        )
+    if "dag" in show:
+        chunks.extend(str(b.dag) for b in compiled.blocks)
+    if "schedule" in show:
+        for i, b in enumerate(compiled.blocks):
+            pairs = ", ".join(
+                f"{ident}@{t}" for ident, t in
+                zip(b.timing.order, b.timing.issue_times)
+            )
+            chunks.append(f"; block {i} schedule (ident@cycle): {pairs}")
+    if "asm" in show:
+        chunks.append(compiled.assembly_text)
+    if "stats" in show:
+        stats = [
+            f"; blocks: {len(compiled)}",
+            f"; total NOPs: {compiled.total_nops}",
+            f"; total issue span: {compiled.total_cycles} cycles",
+        ]
+        if compiled.blocks and compiled.blocks[0].search is not None:
+            status = "all provably optimal" if compiled.all_optimal else "some truncated"
+            stats.append(f"; search: {status}")
+        if args.verify is not None:
+            stats.append("; verification: simulated output matches source semantics")
+        chunks.append("\n".join(stats))
+    text = "\n\n".join(chunks) + "\n"
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

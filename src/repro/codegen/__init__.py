@@ -1,0 +1,22 @@
+"""Assembly emission for the synthetic target, in all three delay
+disciplines of section 2.2."""
+
+from .assembly import (
+    AssemblyProgram,
+    DelayDiscipline,
+    explicit_stream,
+    generate_assembly,
+    padded_stream,
+)
+from .asmparser import AsmInstruction, AsmSyntaxError, parse_assembly
+
+__all__ = [
+    "AssemblyProgram",
+    "DelayDiscipline",
+    "explicit_stream",
+    "generate_assembly",
+    "padded_stream",
+    "AsmInstruction",
+    "AsmSyntaxError",
+    "parse_assembly",
+]

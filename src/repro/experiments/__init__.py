@@ -1,0 +1,33 @@
+"""Experiments reproducing every table and figure of the paper's
+evaluation (plus ablations and extensions).  See DESIGN.md §3 for the
+index and ``repro-experiments --help`` for the CLI."""
+
+from . import ablation, extension, fig1, fig4, fig5, fig6, fig7, kernels, machines, prepass, stalls, table1, table7
+from .runner import (
+    BlockRecord,
+    DEFAULT_CURTAIL,
+    PAPER_BLOCKS,
+    population_size,
+    run_population,
+)
+
+__all__ = [
+    "ablation",
+    "prepass",
+    "kernels",
+    "stalls",
+    "machines",
+    "extension",
+    "fig1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table1",
+    "table7",
+    "BlockRecord",
+    "DEFAULT_CURTAIL",
+    "PAPER_BLOCKS",
+    "population_size",
+    "run_population",
+]

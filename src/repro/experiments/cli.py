@@ -1,0 +1,144 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Regenerates the paper's tables and figures (plus the ablations and
+extensions) and prints them as text; ``--csv DIR`` additionally writes
+machine-readable CSVs.
+
+Examples::
+
+    repro-experiments all
+    repro-experiments table7 --blocks 2000
+    repro-experiments table1 fig4 --csv results/
+    REPRO_SCALE=1 repro-experiments all        # full 16,000-block runs
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from . import ablation, extension, fig1, fig4, fig5, fig6, fig7, kernels, machines, prepass, stalls, table1, table7
+from .runner import DEFAULT_CURTAIL, population_size, run_population
+
+#: Experiments that share the single population run.
+POPULATION_EXPERIMENTS = ("table7", "fig1", "fig4", "fig5", "fig6", "fig7")
+ALL_EXPERIMENTS = ("table1",) + POPULATION_EXPERIMENTS + (
+    "ablation-a1",
+    "ablation-a2",
+    "ablation-a3",
+    "kernels",
+    "stalls",
+    "machines",
+    "extension-x1",
+    "extension-x2",
+)
+
+
+def _write_csv(directory: str, name: str, text: str) -> None:
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.csv")
+    with open(path, "w") as fh:
+        fh.write(text)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help=f"which experiments to run: all, {', '.join(ALL_EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--blocks",
+        type=int,
+        default=None,
+        help="population size for the table7/figure experiments "
+        "(default: 16000 * REPRO_SCALE)",
+    )
+    parser.add_argument(
+        "--curtail",
+        type=int,
+        default=DEFAULT_CURTAIL,
+        help=f"search curtail point lambda (default {DEFAULT_CURTAIL:,})",
+    )
+    parser.add_argument("--seed", type=int, default=1990, help="master seed")
+    parser.add_argument(
+        "--csv", metavar="DIR", default=None, help="also write CSVs to DIR"
+    )
+    args = parser.parse_args(argv)
+
+    wanted = list(args.experiments)
+    if "all" in wanted:
+        wanted = list(ALL_EXPERIMENTS)
+    unknown = [w for w in wanted if w not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    results = {}
+    records = None
+    if any(w in POPULATION_EXPERIMENTS for w in wanted):
+        n_blocks = args.blocks if args.blocks is not None else population_size()
+        print(
+            f"[population] scheduling {n_blocks:,} synthetic blocks "
+            f"(lambda={args.curtail:,}, seed={args.seed}) ...",
+            flush=True,
+        )
+        start = time.perf_counter()
+        records = run_population(n_blocks, args.curtail, args.seed)
+        print(f"[population] done in {time.perf_counter() - start:.1f}s\n")
+
+    for name in wanted:
+        start = time.perf_counter()
+        if name == "table1":
+            result = table1.run()
+        elif name == "table7":
+            result = table7.run_from_records(records, args.curtail)
+        elif name == "fig1":
+            result = fig1.run_from_records(records)
+        elif name == "fig4":
+            result = fig4.run_from_records(records)
+        elif name == "fig5":
+            result = fig5.run_from_records(records)
+        elif name == "fig6":
+            result = fig6.run_from_records(records)
+        elif name == "fig7":
+            result = fig7.run_from_records(records)
+        elif name == "ablation-a1":
+            result = ablation.run_a1()
+        elif name == "ablation-a2":
+            result = ablation.run_a2()
+        elif name == "ablation-a3":
+            result = prepass.run_a3()
+        elif name == "kernels":
+            result = kernels.run()
+        elif name == "stalls":
+            result = stalls.run()
+        elif name == "machines":
+            result = machines.run()
+        elif name == "extension-x1":
+            result = extension.run_x1()
+        elif name == "extension-x2":
+            result = extension.run_x2()
+        else:  # pragma: no cover
+            raise AssertionError(name)
+        elapsed = time.perf_counter() - start
+        print(f"=== {name} ({elapsed:.1f}s) " + "=" * max(0, 50 - len(name)))
+        print(result.render())
+        print()
+        results[name] = result
+        if args.csv:
+            _write_csv(args.csv, name, result.csv())
+
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Plain-text rendering for experiment results.
+
+The paper's artifacts are tables and simple scatter/line/histogram
+figures; everything here renders to monospace text (and CSV) so results
+live in terminals, logs, and EXPERIMENTS.md without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    align_right: bool = True,
+) -> str:
+    """Render an aligned monospace table."""
+    materialized = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        out = []
+        for i, cell in enumerate(cells):
+            out.append(cell.rjust(widths[i]) if align_right else cell.ljust(widths[i]))
+        return "  ".join(out).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_scatter(
+    points: Sequence[Tuple[float, float]],
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_y: bool = False,
+    title: Optional[str] = None,
+) -> str:
+    """ASCII scatter plot (the paper's Figures 1, 4, 6, 7 style)."""
+    import math
+
+    if not points:
+        return f"{title or 'scatter'}: (no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if log_y:
+        ys = [math.log10(max(y, 0.5)) for y in ys]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"1e{y_hi:.1f}" if log_y else _cell(y_hi)
+    y_lo_label = f"1e{y_lo:.1f}" if log_y else _cell(y_lo)
+    lines.append(f"{y_label} (top={y_hi_label}, bottom={y_lo_label})")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {_cell(x_lo)} .. {_cell(x_hi)}")
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    x_label: str = "x",
+    title: Optional[str] = None,
+) -> str:
+    """Multiple named (x, y) series as one aligned table (Figure 4 style:
+    two curves over a shared x axis)."""
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    lookup = {
+        name: {x: y for x, y in pts} for name, pts in series.items()
+    }
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for name in series:
+            row.append(lookup[name].get(x, float("nan")))
+        rows.append(row)
+    return format_table(headers, rows, title)
+
+
+def format_histogram(
+    buckets: Sequence[Tuple[int, int]],
+    bucket_width: int,
+    title: Optional[str] = None,
+    bar_scale: int = 50,
+) -> str:
+    """ASCII histogram (Figure 5 style)."""
+    if not buckets:
+        return f"{title or 'histogram'}: (no data)"
+    peak = max(count for _, count in buckets) or 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for start, count in buckets:
+        bar = "#" * max(1 if count else 0, round(count / peak * bar_scale))
+        label = f"{start:>3}-{start + bucket_width - 1:<3}"
+        lines.append(f"{label} {count:>6}  {bar}")
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """CSV text for machine-readable result capture."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def comparison_note(paper: str, measured: str) -> str:
+    """A standard two-line paper-vs-measured footer."""
+    return f"paper:    {paper}\nmeasured: {measured}"

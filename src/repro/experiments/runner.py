@@ -1,0 +1,119 @@
+"""Shared experiment machinery.
+
+One pass over a synthetic block population produces the per-block records
+that Table 7 and Figures 1, 4, 5, 6 and 7 are all views of; this module
+owns that pass so the experiments stay cheap and mutually consistent.
+
+Scale: the paper schedules 16,000 blocks.  ``population_size()`` reads
+``REPRO_SCALE`` (a fraction of paper scale, default 0.125 ⇒ 2,000 blocks)
+so benchmarks stay tractable in pure Python while ``REPRO_SCALE=1``
+reproduces the full run.  Results are shape-stable across scales.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..ir.dag import DependenceDAG
+from ..machine.machine import MachineDescription
+from ..machine.presets import paper_simulation_machine
+from ..sched.list_scheduler import program_order
+from ..sched.nop_insertion import compute_timing
+from ..sched.search import SearchOptions, schedule_block
+from ..synth.population import PopulationSpec, sample_population
+
+#: The paper's population size.
+PAPER_BLOCKS = 16_000
+
+#: The paper's curtail points were "always large relative to the number of
+#: items searched for an optimal search of an average block"; its truncated
+#: searches averaged ~54,000 Ω calls, placing λ in the 50k range.  Typical
+#: complete searches here cost ~400 calls, so this is >100x headroom.
+DEFAULT_CURTAIL = 50_000
+
+
+def population_size(default_scale: float = 0.125) -> int:
+    """Blocks to run, honouring the ``REPRO_SCALE`` environment knob."""
+    scale = float(os.environ.get("REPRO_SCALE", default_scale))
+    return max(1, round(PAPER_BLOCKS * scale))
+
+
+@dataclass(frozen=True)
+class BlockRecord:
+    """Everything the experiments need to know about one scheduled block."""
+
+    index: int
+    size: int  # instructions (tuples) in the block
+    statements: int
+    initial_nops: int  # mu of the front end's program order (Figure 4 "initial")
+    seed_nops: int  # mu of the list schedule (step [1]'s incumbent)
+    final_nops: int  # mu of the search's best schedule
+    omega_calls: int
+    completed: bool  # condition [1]: provably optimal
+    elapsed_seconds: float
+
+    @property
+    def nops_removed(self) -> int:
+        return self.initial_nops - self.final_nops
+
+
+def run_population(
+    n_blocks: int,
+    curtail: int = DEFAULT_CURTAIL,
+    master_seed: int = 1990,
+    machine: Optional[MachineDescription] = None,
+    spec: PopulationSpec = PopulationSpec(),
+    options: Optional[SearchOptions] = None,
+) -> List[BlockRecord]:
+    """Schedule ``n_blocks`` synthetic blocks; one record per block.
+
+    ``initial_nops`` is the NOP count of the block *as emitted* (program
+    order) — the quantity Figure 4 shows growing linearly with block size;
+    ``seed_nops`` is the list schedule's count (the search's incumbent).
+    """
+    if machine is None:
+        machine = paper_simulation_machine()
+    if options is None:
+        options = SearchOptions(curtail=curtail)
+    records: List[BlockRecord] = []
+    for index, gb in enumerate(sample_population(n_blocks, master_seed, spec)):
+        block = gb.block
+        if len(block) == 0:
+            continue
+        dag = DependenceDAG(block)
+        initial = compute_timing(dag, program_order(dag), machine)
+        start = time.perf_counter()
+        result = schedule_block(dag, machine, options)
+        elapsed = time.perf_counter() - start
+        records.append(
+            BlockRecord(
+                index=index,
+                size=len(block),
+                statements=gb.statements,
+                initial_nops=initial.total_nops,
+                seed_nops=result.initial_nops,
+                final_nops=result.final_nops,
+                omega_calls=result.omega_calls,
+                completed=result.completed,
+                elapsed_seconds=elapsed,
+            )
+        )
+    return records
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else float("nan")
+
+
+def bucket_by_size(
+    records: List[BlockRecord], bucket: int = 2
+) -> dict[int, List[BlockRecord]]:
+    """Group records by block-size bucket (for the per-size figures)."""
+    out: dict[int, List[BlockRecord]] = {}
+    for r in records:
+        out.setdefault((r.size // bucket) * bucket, []).append(r)
+    return dict(sorted(out.items()))

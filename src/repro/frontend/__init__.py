@@ -1,0 +1,38 @@
+"""Mini front end: the paper's example source language (Figure 3),
+lexed, parsed, and lowered to tuple code."""
+
+from .lexer import LexError, Token, TokenKind, tokenize
+from .ast import (
+    Assignment,
+    Binary,
+    Constant,
+    Expr,
+    Program,
+    Unary,
+    VarRead,
+    evaluate_expr,
+    run_program,
+)
+from .parser import ParseError, parse_expression, parse_program
+from .lowering import lower_program, lower_source
+
+__all__ = [
+    "LexError",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "Assignment",
+    "Binary",
+    "Constant",
+    "Expr",
+    "Program",
+    "Unary",
+    "VarRead",
+    "evaluate_expr",
+    "run_program",
+    "ParseError",
+    "parse_expression",
+    "parse_program",
+    "lower_program",
+    "lower_source",
+]

@@ -1,0 +1,198 @@
+"""Abstract syntax for the front-end source language.
+
+A program is a sequence of assignment statements; expressions are
+constants, variable reads, unary minus, and the four binary operators.
+The AST carries its own exact-arithmetic evaluator, which defines source
+semantics independently of the tuple IR — end-to-end tests compare the
+two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Mapping, Tuple, Union
+
+from ..ir.ops import Opcode
+
+Value = Union[int, Fraction]
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class VarRead:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Unary:
+    op: str  # "-"
+    operand: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op != "-":
+            raise ValueError(f"unsupported unary operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"
+
+
+@dataclass(frozen=True, slots=True)
+class Binary:
+    op: str  # one of + - * /
+    left: "Expr"
+    right: "Expr"
+
+    _OPCODES = {
+        "+": Opcode.ADD,
+        "-": Opcode.SUB,
+        "*": Opcode.MUL,
+        "/": Opcode.DIV,
+    }
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPCODES:
+            raise ValueError(f"unsupported binary operator {self.op!r}")
+
+    @property
+    def opcode(self) -> Opcode:
+        return self._OPCODES[self.op]
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+Expr = Union[Constant, VarRead, Unary, Binary]
+
+
+@dataclass(frozen=True, slots=True)
+class Assignment:
+    target: str
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.value};"
+
+
+@dataclass(frozen=True, slots=True)
+class Barrier:
+    """A basic-block boundary (``barrier;``).
+
+    Instructions never move across a barrier; the scheduler handles the
+    pieces as adjacent blocks whose pipeline state threads through the
+    boundary (footnote 1, ``repro.sched.interblock``).  Semantically a
+    no-op: all values flow between blocks through memory.
+    """
+
+    def __str__(self) -> str:
+        return "barrier;"
+
+
+Statement = Union[Assignment, Barrier]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A straight-line program: assignments, optionally partitioned
+    into basic blocks by :class:`Barrier` statements."""
+
+    statements: Tuple["Statement", ...]
+
+    def __init__(self, statements):
+        object.__setattr__(self, "statements", tuple(statements))
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __iter__(self):
+        return iter(self.statements)
+
+    def __str__(self) -> str:
+        body = "\n".join(f"    {s}" for s in self.statements)
+        return "{\n" + body + "\n}"
+
+    # ------------------------------------------------------------------
+    def variables_read(self) -> Tuple[str, ...]:
+        """Variables whose incoming value is observable (read before any
+        assignment to them), in first-read order."""
+        assigned: set[str] = set()
+        out: Dict[str, None] = {}
+
+        def walk(e: Expr) -> None:
+            if isinstance(e, VarRead):
+                if e.name not in assigned:
+                    out.setdefault(e.name, None)
+            elif isinstance(e, Unary):
+                walk(e.operand)
+            elif isinstance(e, Binary):
+                walk(e.left)
+                walk(e.right)
+
+        for stmt in self.statements:
+            if isinstance(stmt, Barrier):
+                continue
+            walk(stmt.value)
+            assigned.add(stmt.target)
+        return tuple(out)
+
+    def variables_written(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for stmt in self.statements:
+            if isinstance(stmt, Barrier):
+                continue
+            seen.setdefault(stmt.target, None)
+        return tuple(seen)
+
+    @property
+    def has_barriers(self) -> bool:
+        return any(isinstance(s, Barrier) for s in self.statements)
+
+    def split_blocks(self) -> Tuple["Program", ...]:
+        """Split at barriers into barrier-free sub-programs (empty
+        segments — leading, trailing, or doubled barriers — are dropped)."""
+        segments: list[list] = [[]]
+        for stmt in self.statements:
+            if isinstance(stmt, Barrier):
+                segments.append([])
+            else:
+                segments[-1].append(stmt)
+        return tuple(Program(seg) for seg in segments if seg)
+
+
+def evaluate_expr(expr: Expr, env: Mapping[str, Value]) -> Value:
+    """Exact evaluation of an expression in ``env``."""
+    if isinstance(expr, Constant):
+        return expr.value
+    if isinstance(expr, VarRead):
+        return env[expr.name]
+    if isinstance(expr, Unary):
+        return -evaluate_expr(expr.operand, env)
+    if isinstance(expr, Binary):
+        left = evaluate_expr(expr.left, env)
+        right = evaluate_expr(expr.right, env)
+        return expr.opcode.evaluate(left, right)
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def run_program(program: Program, memory: Mapping[str, Value]) -> Dict[str, Value]:
+    """Execute the program; returns the final memory.
+
+    This is the *source-level* semantics every compilation stage must
+    preserve.  Barriers are semantic no-ops.
+    """
+    env: Dict[str, Value] = dict(memory)
+    for stmt in program:
+        if isinstance(stmt, Barrier):
+            continue
+        env[stmt.target] = evaluate_expr(stmt.value, env)
+    return env

@@ -1,0 +1,92 @@
+"""Lowering: AST to tuple code.
+
+Follows the code-generation conventions the paper states in section 5.2:
+*"the first reference to a variable causes a load for that variable to be
+generated, and a store is generated when a variable is assigned a
+value."*
+
+Figure 3 additionally shows that the generated code is the DAG-embedded
+form: after ``b = 15``, the use of ``b`` in ``a = b * a`` references the
+``Const 15`` tuple directly rather than re-loading ``b``.  Lowering
+therefore tracks the tuple currently holding each variable's value:
+
+* a read of a variable with no known value emits ``Load`` and records it;
+* an assignment emits ``Store`` and records the stored tuple as the
+  variable's current value.
+
+Pass ``reuse_values=False`` for the naive load-on-every-demand lowering
+("traditional compiler code generation techniques tend to load values on
+demand", section 2.1) — used by tests and ablations to produce
+dependence-heavy code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir.block import BasicBlock, BlockBuilder
+from ..ir.ops import Opcode
+from .ast import (
+    Assignment,
+    Barrier,
+    Binary,
+    Constant,
+    Expr,
+    Program,
+    Unary,
+    VarRead,
+)
+
+
+def lower_program(
+    program: Program,
+    name: str = "block",
+    reuse_values: bool = True,
+) -> BasicBlock:
+    """Lower a straight-line program to a tuple basic block.
+
+    The program must be barrier-free (one basic block); split multi-block
+    programs with :meth:`Program.split_blocks` and lower each piece (the
+    driver's ``compile_program`` does this).
+    """
+    if program.has_barriers:
+        raise ValueError(
+            "program contains barriers; split_blocks() first "
+            "(or use repro.driver.compile_program)"
+        )
+    builder = BlockBuilder(name)
+    current: Dict[str, int] = {}  # variable -> tuple holding its value
+
+    def lower_expr(expr: Expr) -> int:
+        if isinstance(expr, Constant):
+            return builder.emit_const(expr.value)
+        if isinstance(expr, VarRead):
+            if reuse_values and expr.name in current:
+                return current[expr.name]
+            ref = builder.emit_load(expr.name)
+            if reuse_values:
+                current[expr.name] = ref
+            return ref
+        if isinstance(expr, Unary):
+            operand = lower_expr(expr.operand)
+            return builder.emit_unary(Opcode.NEG, operand)
+        if isinstance(expr, Binary):
+            left = lower_expr(expr.left)
+            right = lower_expr(expr.right)
+            return builder.emit_binary(expr.opcode, left, right)
+        raise TypeError(f"not an expression: {expr!r}")
+
+    for stmt in program:
+        value = lower_expr(stmt.value)
+        builder.emit_store(stmt.target, value)
+        if reuse_values:
+            current[stmt.target] = value
+
+    return builder.build()
+
+
+def lower_source(source: str, name: str = "block", reuse_values: bool = True) -> BasicBlock:
+    """Parse and lower in one step."""
+    from .parser import parse_program
+
+    return lower_program(parse_program(source), name, reuse_values)

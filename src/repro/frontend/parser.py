@@ -1,0 +1,140 @@
+"""Recursive-descent parser for the front-end source language.
+
+Grammar (standard precedence, left-associative)::
+
+    program    := "{" statement* "}" | statement*
+    statement  := IDENT "=" expression ";" | "barrier" ";"
+    expression := term (("+" | "-") term)*
+    term       := factor (("*" | "/") factor)*
+    factor     := "-" factor | "(" expression ")" | NUMBER | IDENT
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import (
+    Assignment,
+    Barrier,
+    Binary,
+    Constant,
+    Expr,
+    Program,
+    Unary,
+    VarRead,
+)
+from .lexer import Token, TokenKind, tokenize
+
+#: Reserved words — not usable as variable names.
+KEYWORDS = frozenset({"barrier"})
+
+
+class ParseError(ValueError):
+    def __init__(self, message: str, token: Token):
+        super().__init__(
+            f"line {token.line}, column {token.column}: {message} "
+            f"(found {token.kind.value}{' ' + repr(token.text) if token.text else ''})"
+        )
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: TokenKind) -> Token:
+        if self._current.kind is not kind:
+            raise ParseError(f"expected {kind.value!r}", self._current)
+        return self._advance()
+
+    def _accept(self, kind: TokenKind) -> bool:
+        if self._current.kind is kind:
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def parse_program(self) -> Program:
+        braced = self._accept(TokenKind.LBRACE)
+        statements = []
+        closer = TokenKind.RBRACE if braced else TokenKind.EOF
+        while self._current.kind is not closer:
+            if self._current.kind is TokenKind.EOF:
+                raise ParseError("unexpected end of input", self._current)
+            statements.append(self.parse_statement())
+        if braced:
+            self._expect(TokenKind.RBRACE)
+        self._expect(TokenKind.EOF)
+        return Program(statements)
+
+    def parse_statement(self):
+        token = self._expect(TokenKind.IDENT)
+        if token.text == "barrier":
+            self._expect(TokenKind.SEMI)
+            return Barrier()
+        if token.text in KEYWORDS:  # pragma: no cover - single keyword today
+            raise ParseError(f"{token.text!r} is a reserved word", token)
+        target = token.text
+        self._expect(TokenKind.ASSIGN)
+        value = self.parse_expression()
+        self._expect(TokenKind.SEMI)
+        return Assignment(target, value)
+
+    def parse_expression(self) -> Expr:
+        node = self.parse_term()
+        while self._current.kind in (TokenKind.PLUS, TokenKind.MINUS):
+            op = self._advance().text
+            node = Binary(op, node, self.parse_term())
+        return node
+
+    def parse_term(self) -> Expr:
+        node = self.parse_factor()
+        while self._current.kind in (TokenKind.STAR, TokenKind.SLASH):
+            op = self._advance().text
+            node = Binary(op, node, self.parse_factor())
+        return node
+
+    def parse_factor(self) -> Expr:
+        token = self._current
+        if token.kind is TokenKind.MINUS:
+            self._advance()
+            return Unary("-", self.parse_factor())
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            node = self.parse_expression()
+            self._expect(TokenKind.RPAREN)
+            return node
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return Constant(int(token.text))
+        if token.kind is TokenKind.IDENT:
+            if token.text in KEYWORDS:
+                raise ParseError(f"{token.text!r} is a reserved word", token)
+            self._advance()
+            return VarRead(token.text)
+        raise ParseError("expected an expression", token)
+
+
+def parse_program(source: str) -> Program:
+    """Parse source text into a :class:`~repro.frontend.ast.Program`."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a single expression (test/REPL convenience)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_expression()
+    parser._expect(TokenKind.EOF)
+    return expr

@@ -1,0 +1,64 @@
+"""Tuple intermediate form: instructions, blocks, dependence DAG,
+reference interpreter, and the paper's linear notation."""
+
+from .ops import Opcode, parse_opcode, BINARY_ARITHMETIC, VALUE_PRODUCING_OPCODES
+from .tuples import (
+    ConstOperand,
+    IRTuple,
+    Operand,
+    RefOperand,
+    VarOperand,
+    add,
+    const,
+    copy,
+    div,
+    load,
+    mul,
+    neg,
+    store,
+    sub,
+)
+from .block import BasicBlock, BlockBuilder, BlockValidationError
+from .dag import COUNT_CAPPED, DependenceDAG, DependenceEdge
+from .interp import (
+    ExecutionResult,
+    UndefinedVariableError,
+    blocks_equivalent,
+    run_block,
+)
+from .textual import TupleSyntaxError, format_block, format_tuple, parse_block
+
+__all__ = [
+    "Opcode",
+    "parse_opcode",
+    "BINARY_ARITHMETIC",
+    "VALUE_PRODUCING_OPCODES",
+    "ConstOperand",
+    "IRTuple",
+    "Operand",
+    "RefOperand",
+    "VarOperand",
+    "add",
+    "const",
+    "copy",
+    "div",
+    "load",
+    "mul",
+    "neg",
+    "store",
+    "sub",
+    "BasicBlock",
+    "BlockBuilder",
+    "BlockValidationError",
+    "COUNT_CAPPED",
+    "DependenceDAG",
+    "DependenceEdge",
+    "ExecutionResult",
+    "UndefinedVariableError",
+    "blocks_equivalent",
+    "run_block",
+    "TupleSyntaxError",
+    "format_block",
+    "format_tuple",
+    "parse_block",
+]

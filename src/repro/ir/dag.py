@@ -1,0 +1,378 @@
+"""Dependence DAG over a basic block.
+
+The pipeline scheduler's input is "an initial (list) schedule and the DAG
+it embeds" (section 4.2).  This module derives that DAG from a
+:class:`~repro.ir.block.BasicBlock` and provides the quantities the search
+algorithm needs:
+
+* ``rho(z)`` — Definition 2: the immediate predecessors of ``z``;
+* ``earliest(z)`` / ``latest(z)`` — Definitions 6 and 7: bounds on the
+  schedule position of ``z`` implied by the dependence structure;
+* transitive ancestor/descendant sets, heights and depths (used by the
+  list scheduler's priorities);
+* counting/enumeration of legal schedules (topological orders), used to
+  reproduce the "Pruning Illegal Calls" column of Table 1.
+
+Dependence kinds
+----------------
+Three kinds of edges are recorded, all derived from program order:
+
+* **flow** — a tuple consumes the *result* of another (``RefOperand``),
+  or a ``Load`` of a variable follows a ``Store`` to it;
+* **anti** — a ``Store`` follows a ``Load`` of the same variable;
+* **output** — a ``Store`` follows a ``Store`` to the same variable.
+
+The paper's tuple form makes variables "unambiguous and mutually
+exclusive" (section 3.1), and within a block its DAG construction reuses
+computed values, so in front-end output the anti/output edges are almost
+always shadowed by flow edges; they are kept because schedulers must stay
+correct on hand-written or randomly generated tuple code too.
+
+The NOP-insertion algorithm applies the producer-pipeline latency
+uniformly to every edge in ``rho`` (section 4.2.2 step [6]); see
+``repro.sched.nop_insertion`` for the timing consequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .block import BasicBlock
+from .ops import Opcode
+
+
+#: Result of legal-schedule counting when the cap was hit.
+COUNT_CAPPED = -1
+
+
+@dataclass(frozen=True, slots=True)
+class DependenceEdge:
+    """A dependence of ``consumer`` on ``producer`` (by reference number)."""
+
+    producer: int
+    consumer: int
+    kind: str  # "flow" | "anti" | "output"
+
+    def __str__(self) -> str:
+        return f"{self.producer} -{self.kind}-> {self.consumer}"
+
+
+class DependenceDAG:
+    """The dependence DAG embedded in a basic block's program order.
+
+    ``extra_edges`` adds ordering constraints beyond the memory/value
+    dependences derived from the tuples — e.g. the artificial anti/output
+    dependences induced by register reuse when modelling a *postpass*
+    scheduler (``repro.postpass``).  Every extra edge must run forward in
+    program order (the block's order must remain a legal schedule).
+    """
+
+    def __init__(
+        self,
+        block: BasicBlock,
+        extra_edges: Optional[Iterable[DependenceEdge]] = None,
+    ):
+        self.block = block
+        self._preds: Dict[int, FrozenSet[int]] = {}
+        self._succs: Dict[int, FrozenSet[int]] = {}
+        self._edges: List[DependenceEdge] = []
+        self._extra = tuple(extra_edges) if extra_edges else ()
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        preds: Dict[int, set[int]] = {t.ident: set() for t in self.block}
+        succs: Dict[int, set[int]] = {t.ident: set() for t in self.block}
+        edges: List[DependenceEdge] = []
+        last_store: Dict[str, int] = {}
+        loads_since_store: Dict[str, List[int]] = {}
+
+        def link(producer: int, consumer: int, kind: str) -> None:
+            if producer == consumer:
+                return
+            if consumer not in succs[producer]:
+                edges.append(DependenceEdge(producer, consumer, kind))
+            preds[consumer].add(producer)
+            succs[producer].add(consumer)
+
+        for t in self.block:
+            for ref in t.value_refs:
+                link(ref, t.ident, "flow")
+            var = t.variable
+            if var is None:
+                continue
+            if t.op is Opcode.LOAD:
+                if var in last_store:
+                    link(last_store[var], t.ident, "flow")
+                loads_since_store.setdefault(var, []).append(t.ident)
+            elif t.op is Opcode.STORE:
+                if var in last_store:
+                    link(last_store[var], t.ident, "output")
+                for load_ident in loads_since_store.get(var, ()):
+                    link(load_ident, t.ident, "anti")
+                last_store[var] = t.ident
+                loads_since_store[var] = []
+
+        for edge in self._extra:
+            if edge.producer not in preds or edge.consumer not in preds:
+                raise ValueError(
+                    f"extra edge {edge} references tuples outside the block"
+                )
+            if self.block.position_of(edge.producer) >= self.block.position_of(
+                edge.consumer
+            ):
+                raise ValueError(
+                    f"extra edge {edge} runs backward in program order"
+                )
+            link(edge.producer, edge.consumer, edge.kind)
+
+        self._preds = {k: frozenset(v) for k, v in preds.items()}
+        self._succs = {k: frozenset(v) for k, v in succs.items()}
+        self._edges = edges
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.block)
+
+    @property
+    def idents(self) -> Tuple[int, ...]:
+        return self.block.idents
+
+    @property
+    def edges(self) -> Tuple[DependenceEdge, ...]:
+        return tuple(self._edges)
+
+    def rho(self, ident: int) -> FrozenSet[int]:
+        """Definition 2 — the immediate predecessors of tuple ``ident``."""
+        return self._preds[ident]
+
+    def successors(self, ident: int) -> FrozenSet[int]:
+        return self._succs[ident]
+
+    @cached_property
+    def roots(self) -> Tuple[int, ...]:
+        """Tuples with no predecessors, in program order."""
+        return tuple(i for i in self.idents if not self._preds[i])
+
+    @cached_property
+    def sinks(self) -> Tuple[int, ...]:
+        """Tuples with no successors, in program order."""
+        return tuple(i for i in self.idents if not self._succs[i])
+
+    # ------------------------------------------------------------------
+    # Transitive structure
+    # ------------------------------------------------------------------
+    @cached_property
+    def ancestors(self) -> Dict[int, FrozenSet[int]]:
+        """Transitive predecessors of each tuple."""
+        out: Dict[int, FrozenSet[int]] = {}
+        # Program order is a topological order of the DAG by construction.
+        for t in self.block:
+            acc: set[int] = set()
+            for p in self._preds[t.ident]:
+                acc.add(p)
+                acc.update(out[p])
+            out[t.ident] = frozenset(acc)
+        return out
+
+    @cached_property
+    def descendants(self) -> Dict[int, FrozenSet[int]]:
+        """Transitive successors of each tuple."""
+        out: Dict[int, FrozenSet[int]] = {}
+        for t in reversed(self.block.tuples):
+            acc: set[int] = set()
+            for s in self._succs[t.ident]:
+                acc.add(s)
+                acc.update(out[s])
+            out[t.ident] = frozenset(acc)
+        return out
+
+    def earliest(self, ident: int) -> int:
+        """Definition 6 — the minimum number of instructions which must
+        execute before ``ident``: the size of the slice rooted at it."""
+        return len(self.ancestors[ident])
+
+    def latest(self, ident: int) -> int:
+        """Definition 7 — the maximum number of instructions which could
+        execute before ``ident``: everything except itself and the
+        instructions that transitively depend on it."""
+        return len(self.block) - 1 - len(self.descendants[ident])
+
+    @cached_property
+    def heights(self) -> Dict[int, int]:
+        """Longest path (in edges) from each tuple to any sink.
+
+        The machine-independent priority used by the list scheduler: a
+        tuple far above the sinks has many dependents waiting on it, so
+        issuing it early maximizes producer-to-consumer distances.
+        """
+        out: Dict[int, int] = {}
+        for t in reversed(self.block.tuples):
+            succ = self._succs[t.ident]
+            out[t.ident] = 0 if not succ else 1 + max(out[s] for s in succ)
+        return out
+
+    @cached_property
+    def depths(self) -> Dict[int, int]:
+        """Longest path (in edges) from any root to each tuple."""
+        out: Dict[int, int] = {}
+        for t in self.block:
+            pred = self._preds[t.ident]
+            out[t.ident] = 0 if not pred else 1 + max(out[p] for p in pred)
+        return out
+
+    @cached_property
+    def critical_path_length(self) -> int:
+        """Longest dependence chain in the block, in instructions."""
+        if not len(self.block):
+            return 0
+        return 1 + max(self.heights.values())
+
+    # ------------------------------------------------------------------
+    # Legality of schedules
+    # ------------------------------------------------------------------
+    def is_legal_order(self, order: Sequence[int]) -> bool:
+        """True when ``order`` is a permutation of the block's tuples that
+        respects every dependence edge."""
+        if sorted(order) != sorted(self.idents):
+            return False
+        position = {ident: pos for pos, ident in enumerate(order)}
+        return all(
+            position[p] < position[t]
+            for t in self.idents
+            for p in self._preds[t]
+        )
+
+    def iter_legal_orders(self, limit: Optional[int] = None) -> Iterator[Tuple[int, ...]]:
+        """Yield every topological order of the DAG (up to ``limit``).
+
+        Orders are produced in lexicographic order of program-order
+        positions.  This realizes the "pruning illegal" baseline of
+        section 2.3: an exhaustive search restricted to legal schedules.
+        """
+        n = len(self.block)
+        produced = 0
+        indegree = {i: len(self._preds[i]) for i in self.idents}
+        ready = [i for i in self.idents if indegree[i] == 0]
+        prefix: List[int] = []
+
+        def rec() -> Iterator[Tuple[int, ...]]:
+            nonlocal produced
+            if len(prefix) == n:
+                produced += 1
+                yield tuple(prefix)
+                return
+            # Iterate over a snapshot: the ready list mutates during recursion.
+            for ident in sorted(ready, key=self.block.position_of):
+                if limit is not None and produced >= limit:
+                    return
+                ready.remove(ident)
+                prefix.append(ident)
+                opened = []
+                for s in self._succs[ident]:
+                    indegree[s] -= 1
+                    if indegree[s] == 0:
+                        ready.append(s)
+                        opened.append(s)
+                yield from rec()
+                for s in opened:
+                    ready.remove(s)
+                for s in self._succs[ident]:
+                    indegree[s] += 1
+                prefix.pop()
+                ready.append(ident)
+
+        yield from rec()
+
+    def count_legal_orders(self, cap: int = 10_000_000) -> int:
+        """Count topological orders of the DAG.
+
+        Returns :data:`COUNT_CAPPED` when the count exceeds ``cap`` —
+        Table 1 of the paper reports such entries as ``>9,999,000``.
+
+        Uses memoization over *downsets* (the set of already-scheduled
+        tuples), which collapses the n! permutations into a number of
+        states bounded by the DAG's antichain structure.
+        """
+        idents = self.idents
+        n = len(idents)
+        if n == 0:
+            return 1
+        bit = {ident: 1 << k for k, ident in enumerate(idents)}
+        pred_masks = {
+            ident: sum(bit[p] for p in self._preds[ident]) for ident in idents
+        }
+        memo: Dict[int, int] = {}
+        full = (1 << n) - 1
+
+        def count(scheduled: int) -> int:
+            if scheduled == full:
+                return 1
+            hit = memo.get(scheduled)
+            if hit is not None:
+                return hit
+            total = 0
+            for ident in idents:
+                b = bit[ident]
+                if scheduled & b:
+                    continue
+                if pred_masks[ident] & ~scheduled:
+                    continue
+                total += count(scheduled | b)
+                if total > cap:
+                    memo[scheduled] = total
+                    return total
+            memo[scheduled] = total
+            return total
+
+        # Deep DAGs recurse one level per instruction; keep Python's
+        # default limit out of the way for blocks of a few hundred tuples.
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, n * 10 + 1000))
+        try:
+            total = count(0)
+        finally:
+            sys.setrecursionlimit(old_limit)
+        return COUNT_CAPPED if total > cap else total
+
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export as a :mod:`networkx` DiGraph (for analysis/examples)."""
+        import networkx as nx
+
+        g = nx.DiGraph(name=self.block.name)
+        for t in self.block:
+            g.add_node(t.ident, op=t.op.value)
+        for e in self._edges:
+            g.add_edge(e.producer, e.consumer, kind=e.kind)
+        return g
+
+    def to_dot(self) -> str:
+        """Graphviz DOT rendering (for papers, docs, and debugging).
+
+        Flow edges are solid, anti edges dashed, output edges dotted —
+        the classic dependence-graph styling.
+        """
+        styles = {"flow": "solid", "anti": "dashed", "output": "dotted"}
+        lines = [f'digraph "{self.block.name}" {{', "  rankdir=TB;"]
+        for t in self.block:
+            label = str(t).replace('"', '\\"')
+            lines.append(f'  n{t.ident} [label="{label}", shape=box];')
+        for e in self._edges:
+            lines.append(
+                f"  n{e.producer} -> n{e.consumer} "
+                f'[style={styles.get(e.kind, "solid")}];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        lines = [f"DAG({self.block.name}, {len(self)} tuples)"]
+        lines += [f"  {e}" for e in self._edges]
+        return "\n".join(lines)

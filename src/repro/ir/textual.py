@@ -1,0 +1,128 @@
+"""Linear notation for tuple code — parser and printer.
+
+Figure 3 of the paper shows the notation::
+
+    1: Const 15
+    2: Store #b, 1
+    3: Load #a
+    4: Mul 1, 3
+    5: Store #a, 4
+
+This module round-trips that notation: :func:`format_block` emits it and
+:func:`parse_block` reads it back (accepting ``;``-introduced comments, as
+in the paper's assembly fragments, and blank lines).  Constants may be
+written bare (``15``) or quoted (``"15"``) — the paper's running text uses
+both spellings.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional
+
+from .block import BasicBlock
+from .ops import Opcode, parse_opcode
+from .tuples import ConstOperand, IRTuple, Operand, RefOperand, VarOperand
+
+
+class TupleSyntaxError(ValueError):
+    """Raised on malformed linear-notation input."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None):
+        prefix = f"line {line_no}: " if line_no is not None else ""
+        super().__init__(prefix + message)
+        self.line_no = line_no
+
+
+_LINE_RE = re.compile(
+    r"""^\s*
+        (?P<ident>\d+)\s*:\s*
+        (?P<op>[A-Za-z]+)
+        (?:\s+(?P<operands>.*?))?\s*$""",
+    re.VERBOSE,
+)
+
+
+def parse_block(text: str, name: str = "block") -> BasicBlock:
+    """Parse linear tuple notation into a validated :class:`BasicBlock`."""
+    tuples: List[IRTuple] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        m = _LINE_RE.match(line)
+        if m is None:
+            raise TupleSyntaxError(f"cannot parse tuple line: {raw!r}", line_no)
+        ident = int(m.group("ident"))
+        try:
+            op = parse_opcode(m.group("op"))
+        except ValueError as exc:
+            raise TupleSyntaxError(str(exc), line_no) from None
+        operand_text = m.group("operands") or ""
+        operands = _parse_operands(operand_text, line_no, bare_number_is_const=op is Opcode.CONST)
+        alpha = operands[0] if len(operands) > 0 else None
+        beta = operands[1] if len(operands) > 1 else None
+        if len(operands) > 2:
+            raise TupleSyntaxError("tuples carry at most two operands", line_no)
+        try:
+            tuples.append(IRTuple(ident, op, alpha, beta))
+        except ValueError as exc:
+            raise TupleSyntaxError(str(exc), line_no) from None
+    return BasicBlock(tuples, name)
+
+
+def _parse_operands(
+    text: str, line_no: int, bare_number_is_const: bool
+) -> List[Operand]:
+    """Split a comma-separated operand list.
+
+    A bare number is a tuple *reference* except in ``Const`` tuples, where
+    it is the literal itself (the paper writes both ``Const 15`` and
+    ``Const "15"``).  Quoted numbers are always literals.
+    """
+    text = text.strip()
+    if not text:
+        return []
+    out: List[Operand] = []
+    for piece in text.split(","):
+        piece = piece.strip()
+        if not piece:
+            raise TupleSyntaxError("empty operand", line_no)
+        if piece.startswith("#"):
+            out.append(VarOperand(piece[1:]))
+        elif piece.startswith('"') and piece.endswith('"') and len(piece) >= 2:
+            out.append(ConstOperand(_parse_int(piece[1:-1], line_no)))
+        elif piece.lstrip("-").isdigit():
+            if bare_number_is_const:
+                out.append(ConstOperand(int(piece)))
+            else:
+                out.append(RefOperand(_parse_int(piece, line_no)))
+        else:
+            raise TupleSyntaxError(f"cannot parse operand {piece!r}", line_no)
+    return out
+
+
+def _parse_int(text: str, line_no: int) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise TupleSyntaxError(f"bad constant literal {text!r}", line_no) from None
+
+
+def format_tuple(t: IRTuple) -> str:
+    """Render one tuple in the paper's linear notation."""
+    parts = []
+    for operand in t.operands:
+        if isinstance(operand, RefOperand):
+            parts.append(str(operand.ref))
+        elif isinstance(operand, VarOperand):
+            parts.append(f"#{operand.name}")
+        else:
+            parts.append(f'"{operand.value}"')
+    body = ", ".join(parts)
+    return f"{t.ident}: {t.op.value} {body}".rstrip()
+
+
+def format_block(block: BasicBlock) -> str:
+    """Render a block in the paper's linear notation, one tuple per line."""
+    return "\n".join(format_tuple(t) for t in block)

@@ -1,0 +1,194 @@
+"""The tuple intermediate form.
+
+Section 3.1 of the paper: *"The notation we use for each instruction is
+that of a tuple of the form* ``i, O, alpha, beta`` *where* ``i`` *is the
+reference number of the tuple,* ``O`` *is the operation type, and*
+``alpha`` *and* ``beta`` *are two operands.  Each operand can be a
+variable, the result of another tuple (the reference number of another
+tuple), or empty."*
+
+Operands are modelled with three small immutable classes rather than bare
+strings/ints so that the type of every operand is explicit:
+
+* :class:`VarOperand` — a reference to a named memory variable (``#a``).
+* :class:`ConstOperand` — a literal constant (only valid for ``Const``).
+* :class:`RefOperand` — the result of another tuple, by reference number.
+
+A tuple with no operand in a slot stores ``None`` (the paper's ∅).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .ops import Opcode
+
+
+@dataclass(frozen=True, slots=True)
+class VarOperand:
+    """A reference to a named, unambiguous memory variable."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("variable operand requires a non-empty name")
+
+    def __str__(self) -> str:
+        return f"#{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class ConstOperand:
+    """A literal constant value (integer, as in the paper's examples)."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True, slots=True)
+class RefOperand:
+    """The result of another tuple, identified by its reference number."""
+
+    ref: int
+
+    def __post_init__(self) -> None:
+        if self.ref < 1:
+            raise ValueError("tuple reference numbers start at 1")
+
+    def __str__(self) -> str:
+        return str(self.ref)
+
+
+Operand = Union[VarOperand, ConstOperand, RefOperand]
+
+
+@dataclass(frozen=True, slots=True)
+class IRTuple:
+    """One instruction ``(i, O, alpha, beta)`` of the intermediate form.
+
+    Instances are immutable; optimization passes build new tuples rather
+    than mutating existing ones, which keeps blocks safely shareable
+    between the scheduler's many candidate orderings.
+    """
+
+    ident: int
+    op: Opcode
+    alpha: Optional[Operand] = None
+    beta: Optional[Operand] = None
+
+    def __post_init__(self) -> None:
+        if self.ident < 1:
+            raise ValueError("tuple reference numbers start at 1")
+        self._check_shape()
+
+    # ------------------------------------------------------------------
+    def _check_shape(self) -> None:
+        op = self.op
+        if op is Opcode.CONST:
+            if not isinstance(self.alpha, ConstOperand) or self.beta is not None:
+                raise ValueError("Const expects a single literal operand")
+        elif op is Opcode.LOAD:
+            if not isinstance(self.alpha, VarOperand) or self.beta is not None:
+                raise ValueError("Load expects a single variable operand")
+        elif op is Opcode.STORE:
+            if not isinstance(self.alpha, VarOperand):
+                raise ValueError("Store expects a variable in alpha")
+            if not isinstance(self.beta, RefOperand):
+                raise ValueError("Store expects a tuple reference in beta")
+        elif op in (Opcode.COPY, Opcode.NEG):
+            if not isinstance(self.alpha, RefOperand) or self.beta is not None:
+                raise ValueError(f"{op.value} expects a single tuple reference")
+        else:  # binary arithmetic
+            if not isinstance(self.alpha, RefOperand) or not isinstance(
+                self.beta, RefOperand
+            ):
+                raise ValueError(
+                    f"{op.value} expects two tuple-reference operands"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def operands(self) -> tuple[Operand, ...]:
+        """The non-empty operands, in (alpha, beta) order."""
+        out = []
+        if self.alpha is not None:
+            out.append(self.alpha)
+        if self.beta is not None:
+            out.append(self.beta)
+        return tuple(out)
+
+    @property
+    def value_refs(self) -> tuple[int, ...]:
+        """Reference numbers of tuples whose *results* this tuple consumes."""
+        return tuple(
+            operand.ref
+            for operand in self.operands
+            if isinstance(operand, RefOperand)
+        )
+
+    @property
+    def variable(self) -> Optional[str]:
+        """The memory variable touched by a Load/Store, else ``None``."""
+        if self.op in (Opcode.LOAD, Opcode.STORE):
+            assert isinstance(self.alpha, VarOperand)
+            return self.alpha.name
+        return None
+
+    def with_ident(self, ident: int) -> "IRTuple":
+        """A copy of this tuple renumbered to ``ident`` (operands untouched)."""
+        return IRTuple(ident, self.op, self.alpha, self.beta)
+
+    def with_operands(
+        self, alpha: Optional[Operand], beta: Optional[Operand]
+    ) -> "IRTuple":
+        return IRTuple(self.ident, self.op, alpha, beta)
+
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        parts = ", ".join(str(o) for o in self.operands)
+        if parts:
+            return f"{self.ident}: {self.op.value} {parts}"
+        return f"{self.ident}: {self.op.value}"
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors (used heavily by tests and the front end)
+# ----------------------------------------------------------------------
+def const(ident: int, value: int) -> IRTuple:
+    return IRTuple(ident, Opcode.CONST, ConstOperand(value))
+
+
+def load(ident: int, var: str) -> IRTuple:
+    return IRTuple(ident, Opcode.LOAD, VarOperand(var))
+
+
+def store(ident: int, var: str, ref: int) -> IRTuple:
+    return IRTuple(ident, Opcode.STORE, VarOperand(var), RefOperand(ref))
+
+
+def copy(ident: int, ref: int) -> IRTuple:
+    return IRTuple(ident, Opcode.COPY, RefOperand(ref))
+
+
+def neg(ident: int, ref: int) -> IRTuple:
+    return IRTuple(ident, Opcode.NEG, RefOperand(ref))
+
+
+def add(ident: int, a: int, b: int) -> IRTuple:
+    return IRTuple(ident, Opcode.ADD, RefOperand(a), RefOperand(b))
+
+
+def sub(ident: int, a: int, b: int) -> IRTuple:
+    return IRTuple(ident, Opcode.SUB, RefOperand(a), RefOperand(b))
+
+
+def mul(ident: int, a: int, b: int) -> IRTuple:
+    return IRTuple(ident, Opcode.MUL, RefOperand(a), RefOperand(b))
+
+
+def div(ident: int, a: int, b: int) -> IRTuple:
+    return IRTuple(ident, Opcode.DIV, RefOperand(a), RefOperand(b))

@@ -1,0 +1,49 @@
+"""Target machine model: pipelines and operation mappings."""
+
+from .pipeline import PipelineDesc
+from .machine import (
+    MachineDescription,
+    MachineValidationError,
+    UNPIPELINED_LATENCY,
+)
+from .serialize import (
+    MachineSyntaxError,
+    format_machine,
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+    parse_machine,
+    save_machine,
+)
+from .presets import (
+    PRESETS,
+    asymmetric_units_machine,
+    deep_memory_machine,
+    get_machine,
+    paper_example_machine,
+    paper_simulation_machine,
+    scalar_machine,
+    unpipelined_units_machine,
+)
+
+__all__ = [
+    "PipelineDesc",
+    "MachineDescription",
+    "MachineValidationError",
+    "UNPIPELINED_LATENCY",
+    "PRESETS",
+    "deep_memory_machine",
+    "get_machine",
+    "paper_example_machine",
+    "paper_simulation_machine",
+    "scalar_machine",
+    "unpipelined_units_machine",
+    "asymmetric_units_machine",
+    "MachineSyntaxError",
+    "format_machine",
+    "load_machine",
+    "machine_from_dict",
+    "machine_to_dict",
+    "parse_machine",
+    "save_machine",
+]

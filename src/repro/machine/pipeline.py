@@ -1,0 +1,56 @@
+"""Pipeline descriptions.
+
+Section 2.1 of the paper identifies the two parameters the compiler must
+know per pipeline:
+
+* **latency** — clock ticks between enqueuing an operation and its result
+  becoming available (the minimum issue distance between a producer and a
+  dependent consumer);
+* **enqueue time** — the minimum clock ticks between enqueuing two
+  operations into the *same* pipeline (conflict delay).
+
+A classical pipeline has enqueue time 1; a non-pipelined functional unit
+that can overlap with other units is modelled by ``enqueue_time ==
+latency`` (section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineDesc:
+    """One row of a pipeline description table (paper Tables 2 and 4)."""
+
+    function: str
+    ident: int
+    latency: int
+    enqueue_time: int
+
+    def __post_init__(self) -> None:
+        if self.ident < 1:
+            raise ValueError("pipeline identifiers start at 1")
+        if self.latency < 1:
+            raise ValueError("pipeline latency must be at least 1 clock tick")
+        if self.enqueue_time < 1:
+            raise ValueError("pipeline enqueue time must be at least 1 clock tick")
+        if self.enqueue_time > self.latency:
+            # An operation's result is available after `latency`; a unit
+            # cannot remain busier accepting work than producing results
+            # in this model (enqueue == latency is the unpipelined case).
+            raise ValueError(
+                "enqueue time cannot exceed latency "
+                f"({self.enqueue_time} > {self.latency})"
+            )
+
+    @property
+    def is_pipelined(self) -> bool:
+        """False for a functional unit modelled as enqueue_time == latency."""
+        return self.enqueue_time < self.latency
+
+    def __str__(self) -> str:
+        return (
+            f"pipeline {self.ident} ({self.function}): "
+            f"latency={self.latency}, enqueue={self.enqueue_time}"
+        )

@@ -1,0 +1,172 @@
+"""Machine-description files.
+
+Section 4.1's point is that retargeting is *pure data*: "changing the
+pipeline structure changes only the entries in these tables, not the
+structure of the scheduling algorithm."  This module makes the two
+tables a file format so users can describe their own machines without
+writing Python.
+
+The text format mirrors the paper's tables directly::
+
+    machine paper-simulation
+
+    ; pipeline  <function>  <id>  <latency>  <enqueue-time>
+    pipeline loader      1  2  1
+    pipeline multiplier  2  4  2
+
+    ; op  <Opcode>  <pipeline ids...>   (omit ids for "no pipeline")
+    op Load  1
+    op Mul   2
+    op Div   2
+
+A JSON-friendly dict form (:func:`machine_to_dict` /
+:func:`machine_from_dict`) is provided for programmatic exchange; both
+round-trip exactly (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from ..ir.ops import Opcode, parse_opcode
+from .machine import MachineDescription
+from .pipeline import PipelineDesc
+
+
+class MachineSyntaxError(ValueError):
+    """Raised on malformed machine-description text."""
+
+    def __init__(self, message: str, line_no: int):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+# ----------------------------------------------------------------------
+# Dict form
+# ----------------------------------------------------------------------
+def machine_to_dict(machine: MachineDescription) -> Dict:
+    """A JSON-serializable description of ``machine``."""
+    return {
+        "name": machine.name,
+        "pipelines": [
+            {
+                "function": p.function,
+                "id": p.ident,
+                "latency": p.latency,
+                "enqueue_time": p.enqueue_time,
+            }
+            for p in machine.pipelines
+        ],
+        "op_map": {
+            op.value: sorted(pids)
+            for op, pids in machine.op_map.items()
+            if pids
+        },
+    }
+
+
+def machine_from_dict(data: Mapping) -> MachineDescription:
+    """Inverse of :func:`machine_to_dict` (validates via the constructor)."""
+    try:
+        pipelines = [
+            PipelineDesc(
+                entry["function"],
+                entry["id"],
+                entry["latency"],
+                entry["enqueue_time"],
+            )
+            for entry in data["pipelines"]
+        ]
+        op_map = {
+            parse_opcode(name): set(pids)
+            for name, pids in data.get("op_map", {}).items()
+        }
+        name = data["name"]
+    except KeyError as exc:
+        raise ValueError(f"machine dict missing key: {exc}") from None
+    return MachineDescription(name, pipelines, op_map)
+
+
+# ----------------------------------------------------------------------
+# Text form
+# ----------------------------------------------------------------------
+def format_machine(machine: MachineDescription) -> str:
+    """Render ``machine`` in the table-file format."""
+    lines: List[str] = [f"machine {machine.name}", ""]
+    lines.append("; pipeline  <function>  <id>  <latency>  <enqueue-time>")
+    for p in machine.pipelines:
+        lines.append(
+            f"pipeline {p.function}  {p.ident}  {p.latency}  {p.enqueue_time}"
+        )
+    lines.append("")
+    lines.append("; op  <Opcode>  <pipeline ids...>")
+    for op in Opcode:
+        pids = machine.pipelines_for(op)
+        if pids:
+            rendered = "  ".join(str(i) for i in sorted(pids))
+            lines.append(f"op {op.value}  {rendered}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_machine(text: str) -> MachineDescription:
+    """Parse the table-file format back into a machine description."""
+    name = None
+    pipelines: List[PipelineDesc] = []
+    op_map: Dict[Opcode, set] = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        keyword = fields[0].lower()
+        if keyword == "machine":
+            if len(fields) != 2:
+                raise MachineSyntaxError("machine takes exactly one name", line_no)
+            if name is not None:
+                raise MachineSyntaxError("duplicate machine line", line_no)
+            name = fields[1]
+        elif keyword == "pipeline":
+            if len(fields) != 5:
+                raise MachineSyntaxError(
+                    "pipeline takes: function id latency enqueue-time", line_no
+                )
+            try:
+                pipelines.append(
+                    PipelineDesc(
+                        fields[1], int(fields[2]), int(fields[3]), int(fields[4])
+                    )
+                )
+            except ValueError as exc:
+                raise MachineSyntaxError(str(exc), line_no) from None
+        elif keyword == "op":
+            if len(fields) < 2:
+                raise MachineSyntaxError("op takes an opcode and pipeline ids", line_no)
+            try:
+                op = parse_opcode(fields[1])
+            except ValueError as exc:
+                raise MachineSyntaxError(str(exc), line_no) from None
+            try:
+                pids = {int(f) for f in fields[2:]}
+            except ValueError:
+                raise MachineSyntaxError("pipeline ids must be integers", line_no) from None
+            op_map.setdefault(op, set()).update(pids)
+        else:
+            raise MachineSyntaxError(f"unknown keyword {fields[0]!r}", line_no)
+    if name is None:
+        raise MachineSyntaxError("missing 'machine <name>' line", 1)
+    try:
+        return MachineDescription(name, pipelines, op_map)
+    except ValueError as exc:
+        raise ValueError(f"invalid machine {name!r}: {exc}") from None
+
+
+def load_machine(path) -> MachineDescription:
+    """Read a machine description from a file path."""
+    with open(path) as fh:
+        return parse_machine(fh.read())
+
+
+def save_machine(machine: MachineDescription, path) -> None:
+    """Write ``machine`` to a file path in the table format."""
+    with open(path, "w") as fh:
+        fh.write(format_machine(machine))

@@ -1,0 +1,24 @@
+"""Traditional optimizations applied before scheduling (section 3.1):
+constant folding with value propagation, CSE, DCE, peephole."""
+
+from .fold import fold_constants
+from .cse import eliminate_common_subexpressions
+from .dce import eliminate_dead_code
+from .peephole import peephole_optimize
+from .manager import (
+    OptimizationReport,
+    default_passes,
+    optimize,
+    optimize_block,
+)
+
+__all__ = [
+    "fold_constants",
+    "eliminate_common_subexpressions",
+    "eliminate_dead_code",
+    "peephole_optimize",
+    "OptimizationReport",
+    "default_passes",
+    "optimize",
+    "optimize_block",
+]

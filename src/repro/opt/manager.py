@@ -1,0 +1,93 @@
+"""Optimization pass manager.
+
+Runs a pass pipeline to a fixpoint: the paper's front end performs
+"constant folding with value propagation, common subexpression
+elimination, dead code elimination, and various peephole optimizations"
+(section 3.1), and these passes enable one another (peephole produces
+copies that folding erases; folding orphans tuples that DCE collects), so
+one round is rarely enough.
+
+Convergence is guaranteed: every pass either strictly shrinks the block
+or leaves a canonical form it maps to itself; the iteration cap is a
+safety net that raises rather than looping silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from ..ir.block import BasicBlock
+from .cse import eliminate_common_subexpressions
+from .dce import eliminate_dead_code
+from .fold import fold_constants
+from .peephole import peephole_optimize
+
+Pass = Callable[[BasicBlock], BasicBlock]
+
+
+@dataclass(frozen=True)
+class OptimizationReport:
+    """What the pipeline did to one block."""
+
+    block: BasicBlock
+    original_size: int
+    final_size: int
+    rounds: int
+    pass_names: Tuple[str, ...]
+
+    @property
+    def tuples_removed(self) -> int:
+        return self.original_size - self.final_size
+
+
+def default_passes(
+    strength_reduce: bool = True, remove_dead_stores: bool = True
+) -> List[Tuple[str, Pass]]:
+    """The section-3.1 pipeline in its canonical order."""
+    return [
+        ("fold", fold_constants),
+        ("peephole", lambda b: peephole_optimize(b, strength_reduce)),
+        ("cse", eliminate_common_subexpressions),
+        ("dce", lambda b: eliminate_dead_code(b, remove_dead_stores)),
+    ]
+
+
+def optimize(
+    block: BasicBlock,
+    passes: Sequence[Tuple[str, Pass]] = None,
+    max_rounds: int = 25,
+) -> OptimizationReport:
+    """Run the pass pipeline to a fixpoint and report.
+
+    A "round" is one application of every pass in order; the fixpoint is
+    reached when a full round leaves the block structurally unchanged.
+    """
+    if passes is None:
+        passes = default_passes()
+    original_size = len(block)
+    rounds = 0
+    while True:
+        if rounds >= max_rounds:
+            raise RuntimeError(
+                f"optimizer did not converge within {max_rounds} rounds "
+                f"on block {block.name!r}"
+            )
+        before = block.tuples
+        for _, fn in passes:
+            block = fn(block)
+        rounds += 1
+        if block.tuples == before:
+            break
+    return OptimizationReport(
+        block=block,
+        original_size=original_size,
+        final_size=len(block),
+        rounds=rounds,
+        pass_names=tuple(name for name, _ in passes),
+    )
+
+
+def optimize_block(block: BasicBlock, **kwargs) -> BasicBlock:
+    """Convenience: optimize and return just the block."""
+    return optimize(block, **kwargs).block

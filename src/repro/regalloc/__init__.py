@@ -1,0 +1,19 @@
+"""Register allocation: liveness, post-scheduling linear scan, and the
+pre-scheduling spill pass (sections 3.1 and 3.4)."""
+
+from .liveness import LiveRange, live_ranges, max_live, pressure_profile
+from .allocator import AllocationError, RegisterAllocation, allocate_registers
+from .spill import SPILL_PREFIX, SpillReport, insert_spill_code
+
+__all__ = [
+    "LiveRange",
+    "live_ranges",
+    "max_live",
+    "pressure_profile",
+    "AllocationError",
+    "RegisterAllocation",
+    "allocate_registers",
+    "SPILL_PREFIX",
+    "SpillReport",
+    "insert_spill_code",
+]

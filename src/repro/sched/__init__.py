@@ -1,0 +1,79 @@
+"""Schedulers: NOP insertion (Ω), list-scheduling seed, heuristic
+baselines, the optimal branch-and-bound search, and the multi-pipeline
+and block-splitting extensions."""
+
+from .nop_insertion import (
+    IncrementalTimingState,
+    InitialConditions,
+    PipelineAssignment,
+    ScheduleTiming,
+    SigmaResolver,
+    compute_timing,
+    sequential_etas,
+    total_nops,
+)
+from .list_scheduler import list_schedule, program_order
+from .heuristics import greedy_schedule, gross_schedule
+from .exhaustive import (
+    LEGAL_COUNT_CAP,
+    LegalSearchResult,
+    count_legal_schedules,
+    exhaustive_search_size,
+    legal_only_search,
+)
+from .search import (
+    DEFAULT_CURTAIL,
+    SearchOptions,
+    SearchResult,
+    schedule_block,
+)
+from .multi import (
+    MultiScheduleResult,
+    first_pipeline_assignment,
+    round_robin_assignment,
+    schedule_block_multi,
+)
+from .splitting import (
+    DEFAULT_WINDOW,
+    SplitScheduleResult,
+    schedule_block_split,
+)
+from .interblock import (
+    ScheduledSequence,
+    carry_out,
+    schedule_sequence,
+)
+
+__all__ = [
+    "IncrementalTimingState",
+    "InitialConditions",
+    "PipelineAssignment",
+    "ScheduleTiming",
+    "SigmaResolver",
+    "compute_timing",
+    "sequential_etas",
+    "total_nops",
+    "list_schedule",
+    "program_order",
+    "greedy_schedule",
+    "gross_schedule",
+    "LEGAL_COUNT_CAP",
+    "LegalSearchResult",
+    "count_legal_schedules",
+    "exhaustive_search_size",
+    "legal_only_search",
+    "DEFAULT_CURTAIL",
+    "SearchOptions",
+    "SearchResult",
+    "schedule_block",
+    "MultiScheduleResult",
+    "first_pipeline_assignment",
+    "round_robin_assignment",
+    "schedule_block_multi",
+    "DEFAULT_WINDOW",
+    "SplitScheduleResult",
+    "schedule_block_split",
+    "ScheduledSequence",
+    "carry_out",
+    "schedule_sequence",
+]

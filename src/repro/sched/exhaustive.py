@@ -1,0 +1,116 @@
+"""Exhaustive scheduling baselines (section 2.3).
+
+Two reference searches frame the pruning results of Table 1:
+
+* :func:`exhaustive_search_size` — the unpruned search considers all
+  ``n!`` permutations; the count alone is reported (the paper computes
+  "just under 5 years" for n = 15 rather than running it, and so do we).
+* :func:`legal_only_search` — "the most obvious pruning": enumerate only
+  dependence-legal schedules (topological orders of the DAG) and evaluate
+  Ω on each.  This is Table 1's middle column and, for small blocks, the
+  ground-truth optimum the optimal search is tested against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..ir.dag import COUNT_CAPPED, DependenceDAG
+from ..machine.machine import MachineDescription
+from .nop_insertion import (
+    IncrementalTimingState,
+    PipelineAssignment,
+    ScheduleTiming,
+    SigmaResolver,
+)
+
+#: Table 1 reports legal-schedule counts above ten million as ">9,999,000".
+LEGAL_COUNT_CAP = 10_000_000
+
+
+def exhaustive_search_size(n: int) -> int:
+    """Number of Ω calls an unpruned exhaustive search would make: n!."""
+    return math.factorial(n)
+
+
+@dataclass(frozen=True)
+class LegalSearchResult:
+    """Outcome of enumerating all dependence-legal schedules."""
+
+    best: ScheduleTiming
+    omega_calls: int  # complete schedules evaluated
+    exhausted: bool  # False when the enumeration cap was hit
+
+    @property
+    def optimal_nops(self) -> int:
+        return self.best.total_nops
+
+
+def legal_only_search(
+    dag: DependenceDAG,
+    machine: MachineDescription,
+    assignment: Optional[PipelineAssignment] = None,
+    limit: Optional[int] = None,
+) -> LegalSearchResult:
+    """Evaluate Ω on every legal schedule; return the best.
+
+    ``limit`` caps the number of schedules evaluated (a curtail point for
+    this baseline); with the default ``None`` the enumeration runs to
+    completion, which is only sensible for small or dependence-dense
+    blocks.  The enumeration shares prefix work via the incremental
+    timing state, but unlike the optimal search it applies *no* pruning:
+    every legal schedule is completed and counted.
+    """
+    resolver = SigmaResolver(dag, machine, assignment)
+    state = IncrementalTimingState(dag, resolver)
+    n = len(dag)
+    best: Optional[ScheduleTiming] = None
+    calls = 0
+    exhausted = True
+
+    indegree = {i: len(dag.rho(i)) for i in dag.idents}
+    ready = [i for i in dag.idents if indegree[i] == 0]
+
+    def rec() -> bool:
+        """Returns False when the limit was hit and recursion must unwind."""
+        nonlocal best, calls, exhausted
+        if len(state) == n:
+            calls += 1
+            if best is None or state.total_nops < best.total_nops:
+                best = state.snapshot()
+            if limit is not None and calls >= limit:
+                exhausted = False
+                return False
+            return True
+        for ident in list(ready):
+            ready.remove(ident)
+            state.push(ident)
+            opened = []
+            for succ in dag.successors(ident):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+                    opened.append(succ)
+            keep_going = rec()
+            for succ in opened:
+                ready.remove(succ)
+            for succ in dag.successors(ident):
+                indegree[succ] += 1
+            state.pop()
+            ready.append(ident)
+            if not keep_going:
+                return False
+        return True
+
+    if n == 0:
+        return LegalSearchResult(ScheduleTiming((), (), ()), 0, True)
+    rec()
+    assert best is not None
+    return LegalSearchResult(best, calls, exhausted)
+
+
+def count_legal_schedules(dag: DependenceDAG, cap: int = LEGAL_COUNT_CAP) -> int:
+    """Count of legal schedules; :data:`COUNT_CAPPED` above ``cap``."""
+    return dag.count_legal_orders(cap)

@@ -1,0 +1,95 @@
+"""Heuristic pipeline schedulers — the literature baselines.
+
+The paper positions itself against two families of prior work:
+
+* **Gross [Gro83]** — a postpass list scheduler that is *pipeline-aware*:
+  at each step it issues a ready instruction that the current pipeline
+  state accepts with the least stalling, using dependence height to break
+  ties.  "Although his heuristic typically does not result in the minimum
+  delay (optimal schedule), the algorithm executes quickly and generally
+  yields good results."
+* **Abraham et al. [AbP88]** — permits variable-delay pipelines but
+  "resorted to a greedy heuristic algorithm": pure earliest-issue greed
+  with no lookahead beyond the immediate stall count.
+
+Both are implemented on the same machinery as the optimal search (the
+incremental Ω state), so NOP counts are directly comparable.  Neither is
+optimal; the benchmark harness measures how far from optimal they land.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..ir.dag import DependenceDAG
+from ..machine.machine import MachineDescription
+from .nop_insertion import (
+    IncrementalTimingState,
+    InitialConditions,
+    PipelineAssignment,
+    ScheduleTiming,
+    SigmaResolver,
+)
+
+
+def gross_schedule(
+    dag: DependenceDAG,
+    machine: MachineDescription,
+    assignment: Optional[PipelineAssignment] = None,
+    initial: Optional[InitialConditions] = None,
+) -> ScheduleTiming:
+    """Gross-style pipeline-aware list scheduling.
+
+    Greedy on immediate NOP cost, with dependence height as the primary
+    tie-break (prefer instructions on the critical path) and descendant
+    count second.  One-step lookahead only.
+    """
+    return _greedy(dag, machine, assignment, initial, height_tiebreak=True)
+
+
+def greedy_schedule(
+    dag: DependenceDAG,
+    machine: MachineDescription,
+    assignment: Optional[PipelineAssignment] = None,
+    initial: Optional[InitialConditions] = None,
+) -> ScheduleTiming:
+    """Abraham-et-al-style plain greedy: least immediate stall, program
+    order as the only tie-break."""
+    return _greedy(dag, machine, assignment, initial, height_tiebreak=False)
+
+
+def _greedy(
+    dag: DependenceDAG,
+    machine: MachineDescription,
+    assignment: Optional[PipelineAssignment],
+    initial: Optional[InitialConditions],
+    height_tiebreak: bool,
+) -> ScheduleTiming:
+    resolver = SigmaResolver(dag, machine, assignment)
+    state = IncrementalTimingState(dag, resolver, initial)
+    heights = dag.heights
+    descendants = dag.descendants
+    position = dag.block.position_of
+
+    indegree = {i: len(dag.rho(i)) for i in dag.idents}
+    ready: List[int] = [i for i in dag.idents if indegree[i] == 0]
+
+    while ready:
+        best = None
+        best_key = None
+        for ident in ready:
+            eta = state.peek_eta(ident)
+            if height_tiebreak:
+                key = (eta, -heights[ident], -len(descendants[ident]), position(ident))
+            else:
+                key = (eta, position(ident))
+            if best_key is None or key < best_key:
+                best, best_key = ident, key
+        ready.remove(best)
+        state.push(best)
+        for succ in dag.successors(best):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+
+    return state.snapshot()

@@ -1,0 +1,455 @@
+"""NOP insertion — the paper's Ω procedure (section 4.2.2).
+
+Given a machine description and a (partial) schedule, compute ``eta(i)``,
+the minimum number of NOPs which must be inserted immediately before the
+i-th instruction so that no pipeline conflict (enqueue-time violation) or
+dependence (latency violation) remains.
+
+Timing model
+------------
+Instructions issue one per clock tick, plus their leading NOPs.  With
+``eta(k)`` NOPs before the k-th instruction, issue times are::
+
+    t(0) = eta(0)              (0 on an idle machine; carry-in conditions
+                                from a preceding block can delay it)
+    t(i) = t(i-1) + 1 + eta(i)
+
+The paper's ``tau(j)`` — "the execution time between the start of the
+j-th instruction and the i-th instruction" — is then::
+
+    tau(j) = t(i) - t(j) = (i - j) + eta(i) + sum(eta(j+1..i-1))
+
+(The scan of the paper typesets the ``i - j`` term lossily; our form
+reduces to the printed ``eta(i) + 1`` at the adjacent case ``j = i-1``
+and is validated against the cycle-accurate simulator.)
+
+Constraints on the issue time of instruction ``zeta`` at position ``i``:
+
+* **conflict** (steps [2]-[3]): if ``sigma(zeta)`` is a pipeline ``p``,
+  then ``t(i) >= t(j) + enqueue_time(p)`` for the nearest earlier
+  instruction ``j`` with ``sigma(j) == p``;
+* **dependence** (steps [4]-[6]): for every ``delta`` in ``rho(zeta)``,
+  ``t(i) >= t(delta) + latency(sigma(delta))``, where unpipelined
+  producers have effective latency 1.
+
+Two implementations are provided and property-tested equal:
+
+* :func:`sequential_etas` — the paper's literal formulation, which adds
+  NOP deficits one constraint at a time, re-evaluating ``tau`` as
+  ``eta(i)`` grows;
+* the closed form used everywhere else — since each step tops ``eta(i)``
+  up to exactly satisfy one constraint and all constraints relax together
+  as ``eta(i)`` grows, the result is simply the maximum single-constraint
+  deficit.
+
+:class:`IncrementalTimingState` exposes the closed form as an O(preds)
+push/pop interface for the branch-and-bound search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ir.block import BasicBlock
+from ..ir.dag import DependenceDAG
+from ..ir.ops import Opcode
+from ..machine.machine import MachineDescription, UNPIPELINED_LATENCY
+
+#: Optional per-tuple pipeline assignment (for the multi-pipeline
+#: extension): maps tuple reference numbers to pipeline identifiers.
+PipelineAssignment = Mapping[int, Optional[int]]
+
+
+@dataclass(frozen=True)
+class InitialConditions:
+    """Carry-in state from preceding blocks (paper footnote 1).
+
+    Cycle 0 is the block's first issue slot.
+
+    Parameters
+    ----------
+    pipe_free:
+        Earliest cycle at which each pipeline accepts a new enqueue
+        (pipelines absent are free immediately).  Captures operations
+        issued near the end of the previous block that keep their
+        pipeline busy across the boundary.
+    variable_ready:
+        Earliest cycle at which each named variable may be touched
+        (loaded *or* stored).  Captures stores still completing in a
+        slow memory system when the block begins.
+    """
+
+    pipe_free: Mapping[int, int] = None
+    variable_ready: Mapping[str, int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pipe_free", dict(self.pipe_free or {}))
+        object.__setattr__(
+            self, "variable_ready", dict(self.variable_ready or {})
+        )
+        for label, table in (
+            ("pipe_free", self.pipe_free),
+            ("variable_ready", self.variable_ready),
+        ):
+            if any(v < 0 for v in table.values()):
+                raise ValueError(f"{label} cycles must be non-negative")
+
+    @property
+    def is_trivial(self) -> bool:
+        return not self.pipe_free and not self.variable_ready
+
+    def __str__(self) -> str:
+        return (
+            f"InitialConditions(pipe_free={self.pipe_free}, "
+            f"variable_ready={self.variable_ready})"
+        )
+
+
+class SigmaResolver:
+    """Resolves Definition 3 — the pipeline used by each instruction.
+
+    For deterministic machines this is a pure function of the opcode; the
+    multi-pipeline extension passes an explicit per-tuple ``assignment``.
+    Resolution is precomputed per tuple so the search's inner loop does
+    dictionary lookups only.
+    """
+
+    def __init__(
+        self,
+        dag: DependenceDAG,
+        machine: MachineDescription,
+        assignment: Optional[PipelineAssignment] = None,
+    ):
+        self.dag = dag
+        self.machine = machine
+        self._sigma: Dict[int, Optional[int]] = {}
+        self._latency: Dict[int, int] = {}
+        self._enqueue: Dict[int, int] = {}
+        for t in dag.block:
+            if assignment is not None and t.ident in assignment:
+                pid = assignment[t.ident]
+                if pid is not None and pid not in {
+                    p.ident for p in machine.pipelines
+                }:
+                    raise ValueError(
+                        f"assignment maps tuple {t.ident} to unknown pipeline {pid}"
+                    )
+                if pid is not None:
+                    viable = machine.pipelines_for(t.op)
+                    if pid not in viable:
+                        raise ValueError(
+                            f"pipeline {pid} cannot execute {t.op.value} "
+                            f"(viable: {sorted(viable)})"
+                        )
+            else:
+                pid = machine.sigma(t.op)
+            self._sigma[t.ident] = pid
+            if pid is None:
+                self._latency[t.ident] = UNPIPELINED_LATENCY
+                self._enqueue[t.ident] = 0
+            else:
+                pipe = machine.pipeline(pid)
+                self._latency[t.ident] = pipe.latency
+                self._enqueue[t.ident] = pipe.enqueue_time
+
+    def sigma(self, ident: int) -> Optional[int]:
+        return self._sigma[ident]
+
+    def latency(self, ident: int) -> int:
+        """Result latency of the tuple numbered ``ident``."""
+        return self._latency[ident]
+
+    def enqueue_time(self, ident: int) -> int:
+        return self._enqueue[ident]
+
+
+@dataclass(frozen=True)
+class ScheduleTiming:
+    """Complete timing of one schedule: the output of Ω over a full order."""
+
+    order: Tuple[int, ...]
+    etas: Tuple[int, ...]
+    issue_times: Tuple[int, ...]
+
+    @property
+    def total_nops(self) -> int:
+        """mu(Pi) — Definition 5."""
+        return sum(self.etas)
+
+    @property
+    def issue_span_cycles(self) -> int:
+        """Cycles from the first issue to the last issue, inclusive:
+        ``len(order) + total_nops``."""
+        return len(self.order) + self.total_nops
+
+    def eta_of(self, ident: int) -> int:
+        return self.etas[self.order.index(ident)]
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+
+class IncrementalTimingState:
+    """Push/pop NOP computation over a growing schedule prefix (Φ).
+
+    The branch-and-bound search extends and retracts partial schedules
+    millions of times; this class keeps the per-pipeline last-issue times
+    and per-tuple issue times so that each extension costs
+    ``O(|rho(zeta)|)``.
+    """
+
+    __slots__ = (
+        "resolver",
+        "dag",
+        "_order",
+        "_etas",
+        "_issue",
+        "_pipe_last",
+        "_pipe_saved",
+        "_total_nops",
+        "_var_bound",
+    )
+
+    def __init__(
+        self,
+        dag: DependenceDAG,
+        resolver: SigmaResolver,
+        initial: Optional[InitialConditions] = None,
+    ):
+        self.dag = dag
+        self.resolver = resolver
+        self._order: List[int] = []
+        self._etas: List[int] = []
+        self._issue: Dict[int, int] = {}
+        self._pipe_last: Dict[int, int] = {}
+        # Stack of (pipe, previous last-issue or None) for undo.
+        self._pipe_saved: List[Optional[Tuple[int, Optional[int]]]] = []
+        self._total_nops = 0
+        # Per-tuple earliest issue cycle from the carry-in conditions.
+        self._var_bound: Dict[int, int] = {}
+        if initial is not None and not initial.is_trivial:
+            # A pipeline busy until cycle c behaves exactly like a
+            # phantom enqueue at c - enqueue_time: seed _pipe_last so the
+            # ordinary conflict rule enforces the carry-in.
+            for pid, free_at in initial.pipe_free.items():
+                enqueue = resolver.machine.pipeline(pid).enqueue_time
+                self._pipe_last[pid] = free_at - enqueue
+            for t in dag.block:
+                var = t.variable
+                if var is not None and var in initial.variable_ready:
+                    self._var_bound[t.ident] = initial.variable_ready[var]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._order)
+
+    @property
+    def order(self) -> Tuple[int, ...]:
+        return tuple(self._order)
+
+    @property
+    def etas(self) -> Tuple[int, ...]:
+        return tuple(self._etas)
+
+    @property
+    def total_nops(self) -> int:
+        """mu(Φ) — NOPs committed by the current prefix."""
+        return self._total_nops
+
+    def issue_time_of(self, ident: int) -> int:
+        return self._issue[ident]
+
+    # ------------------------------------------------------------------
+    def peek_eta(self, ident: int) -> int:
+        """The NOPs that scheduling ``ident`` next would require.
+
+        This is the Ω evaluation: one call per candidate considered.
+        Assumes legality (all of ``rho(ident)`` already scheduled).
+        """
+        resolver = self.resolver
+        # Issue time with eta == 0: the slot after the previous issue,
+        # or cycle 0 at the start of the block.
+        base = self._issue[self._order[-1]] + 1 if self._order else 0
+        earliest = base
+        # Conflict: nearest earlier enqueue into the same pipeline
+        # (including the phantom carry-in enqueue, when present).
+        pid = resolver.sigma(ident)
+        if pid is not None:
+            last = self._pipe_last.get(pid)
+            if last is not None:
+                bound = last + resolver.enqueue_time(ident)
+                if bound > earliest:
+                    earliest = bound
+        # Carry-in memory readiness.
+        if self._var_bound:
+            bound = self._var_bound.get(ident)
+            if bound is not None and bound > earliest:
+                earliest = bound
+        # Dependences: producer issue + producer latency.
+        for delta in self.dag.rho(ident):
+            bound = self._issue[delta] + resolver.latency(delta)
+            if bound > earliest:
+                earliest = bound
+        return earliest - base
+
+    def push(self, ident: int) -> int:
+        """Schedule ``ident`` next; returns its eta."""
+        eta = self.peek_eta(ident)
+        if self._order:
+            issue = self._issue[self._order[-1]] + 1 + eta
+        else:
+            issue = eta  # carry-in conditions can delay the first issue
+        self._order.append(ident)
+        self._etas.append(eta)
+        self._issue[ident] = issue
+        self._total_nops += eta
+        pid = self.resolver.sigma(ident)
+        if pid is None:
+            self._pipe_saved.append(None)
+        else:
+            self._pipe_saved.append((pid, self._pipe_last.get(pid)))
+            self._pipe_last[pid] = issue
+        return eta
+
+    def pop(self) -> int:
+        """Undo the most recent :meth:`push`; returns the retracted ident."""
+        ident = self._order.pop()
+        eta = self._etas.pop()
+        self._total_nops -= eta
+        del self._issue[ident]
+        saved = self._pipe_saved.pop()
+        if saved is not None:
+            pid, previous = saved
+            if previous is None:
+                del self._pipe_last[pid]
+            else:
+                self._pipe_last[pid] = previous
+        return ident
+
+    def snapshot(self) -> ScheduleTiming:
+        """Freeze the current (complete or partial) timing."""
+        return ScheduleTiming(
+            tuple(self._order),
+            tuple(self._etas),
+            tuple(self._issue[i] for i in self._order),
+        )
+
+
+# ----------------------------------------------------------------------
+# Whole-schedule entry points
+# ----------------------------------------------------------------------
+def compute_timing(
+    dag: DependenceDAG,
+    order: Sequence[int],
+    machine: MachineDescription,
+    assignment: Optional[PipelineAssignment] = None,
+    check_legality: bool = True,
+    initial: Optional[InitialConditions] = None,
+) -> ScheduleTiming:
+    """Run Ω over a complete schedule and return its timing.
+
+    Raises ``ValueError`` when ``order`` violates the dependence DAG
+    (unless ``check_legality=False``, for callers that already know).
+    ``initial`` supplies carry-in conditions from preceding blocks
+    (footnote 1); by default the machine starts idle.
+    """
+    if check_legality and not dag.is_legal_order(order):
+        raise ValueError("order is not a legal (dependence-respecting) schedule")
+    resolver = SigmaResolver(dag, machine, assignment)
+    state = IncrementalTimingState(dag, resolver, initial)
+    for ident in order:
+        state.push(ident)
+    return state.snapshot()
+
+
+def sequential_etas(
+    dag: DependenceDAG,
+    order: Sequence[int],
+    machine: MachineDescription,
+    assignment: Optional[PipelineAssignment] = None,
+    initial: Optional[InitialConditions] = None,
+) -> Tuple[int, ...]:
+    """The paper's NOP-insertion algorithm, implemented step by step.
+
+    Kept deliberately close to the prose of section 4.2.2 (steps [1]-[6]),
+    including the backward conflict scan and the incremental deficit
+    accumulation.  Used as the oracle against which the closed form is
+    property-tested; O(n^2) per schedule, so not used by the search.
+
+    Carry-in conditions (footnote 1) extend the literal algorithm with a
+    step [0]: before the in-block checks, top eta up until the carry-in
+    pipeline-busy and variable-ready constraints are met — for the first
+    instruction too, which the idle-start algorithm exempts in step [1].
+    """
+    resolver = SigmaResolver(dag, machine, assignment)
+    init = initial if initial is not None else InitialConditions()
+    n = len(order)
+    etas: List[int] = [0] * n
+    position = {ident: pos for pos, ident in enumerate(order)}
+
+    for i, zeta in enumerate(order):
+        eta = 0  # step [1]
+
+        def issue_i() -> int:
+            """Issue cycle of instruction i given etas so far + current eta."""
+            return sum(etas[:i]) + i + eta
+
+        # Step [0]: carry-in conditions (no-op when the machine starts idle).
+        pid = resolver.sigma(zeta)
+        if pid is not None and pid in init.pipe_free:
+            x = init.pipe_free[pid] - issue_i()
+            if x > 0:
+                eta += x
+        var = dag.block.by_ident(zeta).variable
+        if var is not None and var in init.variable_ready:
+            x = init.variable_ready[var] - issue_i()
+            if x > 0:
+                eta += x
+
+        if i == 0:
+            etas[0] = eta
+            continue
+
+        def tau(j: int) -> int:
+            """Issue-time distance between instructions j and i (current eta)."""
+            return (i - j) + eta + sum(etas[j + 1 : i])
+
+        if pid is not None:  # step [2] skips to [4] when sigma is empty
+            enqueue = resolver.enqueue_time(zeta)
+            j = i - 1
+            while True:  # step [3]
+                if tau(j) > enqueue:
+                    break
+                if resolver.sigma(order[j]) == pid:
+                    if tau(j) < enqueue:
+                        # The paper assigns eta = enqueue - tau(j); since
+                        # its eta is still 0 here that equals adding the
+                        # deficit.  Adding keeps the step correct when
+                        # step [0] already raised eta for carry-in.
+                        eta += enqueue - tau(j)
+                    break
+                if j == 0:
+                    break
+                j -= 1
+
+        rho = dag.rho(zeta)
+        if rho:  # steps [4]-[6]
+            for delta in sorted(rho, key=position.__getitem__):
+                x = resolver.latency(delta) - tau(position[delta])
+                if x > 0:
+                    eta += x
+
+        etas[i] = eta
+
+    return tuple(etas)
+
+
+def total_nops(
+    dag: DependenceDAG,
+    order: Sequence[int],
+    machine: MachineDescription,
+    assignment: Optional[PipelineAssignment] = None,
+) -> int:
+    """mu(Pi) for a complete schedule — convenience wrapper."""
+    return compute_timing(dag, order, machine, assignment).total_nops

@@ -1,0 +1,28 @@
+"""Cycle-accurate multi-pipeline simulator (section 2.2's three delay
+disciplines: implicit interlock, explicit interlock, NOP padding)."""
+
+from .core import (
+    NOP,
+    HazardError,
+    InterlockMode,
+    PipelineSimulator,
+    SimulationTrace,
+    simulate_schedule,
+)
+from .register_machine import (
+    RegisterHazardError,
+    RegisterMachine,
+    RegisterTrace,
+)
+
+__all__ = [
+    "NOP",
+    "HazardError",
+    "InterlockMode",
+    "PipelineSimulator",
+    "SimulationTrace",
+    "simulate_schedule",
+    "RegisterHazardError",
+    "RegisterMachine",
+    "RegisterTrace",
+]

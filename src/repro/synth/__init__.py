@@ -1,0 +1,35 @@
+"""Synthetic benchmark generation (section 5.2 and the Table 6
+statement-frequency substitute)."""
+
+from .stats import (
+    DEFAULT_PROFILE,
+    GeneratorProfile,
+    OPERATOR_FREQUENCIES,
+    STATEMENT_FREQUENCIES,
+)
+from .generator import (
+    GeneratedBlock,
+    generate_block,
+    generate_program,
+    variable_names,
+)
+from .population import PopulationSpec, sample_population, size_histogram
+from .kernels import KERNELS, KERNELS_BY_NAME, Kernel, get_kernel
+
+__all__ = [
+    "DEFAULT_PROFILE",
+    "GeneratorProfile",
+    "OPERATOR_FREQUENCIES",
+    "STATEMENT_FREQUENCIES",
+    "GeneratedBlock",
+    "generate_block",
+    "generate_program",
+    "variable_names",
+    "PopulationSpec",
+    "sample_population",
+    "size_histogram",
+    "KERNELS",
+    "KERNELS_BY_NAME",
+    "Kernel",
+    "get_kernel",
+]

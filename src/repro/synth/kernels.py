@@ -1,0 +1,157 @@
+"""A suite of hand-written realistic kernels.
+
+The paper's synthetic blocks are statistically realistic; these are
+*literally* realistic — the straight-line bodies of the numeric codes
+that motivated pipeline scheduling in the first place (§1's multiple
+functional units "typically, independent adders and multipliers"), in
+the front-end source language.  Each comes with an initial memory for
+verification and a note on its dependence character.
+
+Used by ``repro.experiments.kernels`` (per-kernel scheduler comparison)
+and the test suite (every kernel must compile, verify, and be provably
+optimally scheduled on every deterministic preset machine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One straight-line benchmark kernel."""
+
+    name: str
+    source: str
+    memory: Dict[str, int]
+    character: str  # one-line dependence-structure note
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.character}"
+
+
+def _kernel(name: str, source: str, memory: Dict[str, int], character: str) -> Kernel:
+    return Kernel(name, source, dict(memory), character)
+
+
+KERNELS: Tuple[Kernel, ...] = (
+    _kernel(
+        "dot4",
+        """
+        acc = v1 * w1;
+        acc = acc + v2 * w2;
+        acc = acc + v3 * w3;
+        acc = acc + v4 * w4;
+        """,
+        {"v1": 1, "w1": 2, "v2": 3, "w2": 4, "v3": 5, "w3": 6, "v4": 7, "w4": 8},
+        "multiply-accumulate chain; multiplies independent, adds serial",
+    ),
+    _kernel(
+        "horner5",
+        """
+        y = c5;
+        y = y * x + c4;
+        y = y * x + c3;
+        y = y * x + c2;
+        y = y * x + c1;
+        y = y * x + c0;
+        """,
+        {"x": 3, "c0": 1, "c1": 2, "c2": 3, "c3": 4, "c4": 5, "c5": 6},
+        "worst case: one serial multiply chain, nothing to overlap",
+    ),
+    _kernel(
+        "complex-mul",
+        """
+        re = ar * br - ai * bi;
+        im = ar * bi + ai * br;
+        """,
+        {"ar": 3, "ai": 4, "br": 5, "bi": 6},
+        "four independent multiplies feeding two adds — ideal overlap",
+    ),
+    _kernel(
+        "fir3",
+        """
+        y0 = h0 * x0 + h1 * x1 + h2 * x2;
+        y1 = h0 * x1 + h1 * x2 + h2 * x3;
+        """,
+        {"h0": 1, "h1": 2, "h2": 3, "x0": 4, "x1": 5, "x2": 6, "x3": 7},
+        "two independent tap sums sharing loads",
+    ),
+    _kernel(
+        "mat2-vec",
+        """
+        y0 = a00 * x0 + a01 * x1;
+        y1 = a10 * x0 + a11 * x1;
+        """,
+        {"a00": 1, "a01": 2, "a10": 3, "a11": 4, "x0": 5, "x1": 6},
+        "two independent row dot-products",
+    ),
+    _kernel(
+        "norm2",
+        """
+        s = x * x + y * y + z * z;
+        inv = 1 / s;
+        nx = x * inv;
+        ny = y * inv;
+        nz = z * inv;
+        """,
+        {"x": 1, "y": 2, "z": 2},
+        "reduction into a divide, then three independent scales",
+    ),
+    _kernel(
+        "lerp4",
+        """
+        d0 = b0 - a0; r0 = a0 + d0 * t;
+        d1 = b1 - a1; r1 = a1 + d1 * t;
+        d2 = b2 - a2; r2 = a2 + d2 * t;
+        d3 = b3 - a3; r3 = a3 + d3 * t;
+        """,
+        {"a0": 1, "b0": 9, "a1": 2, "b1": 8, "a2": 3, "b2": 7, "a3": 4, "b3": 6, "t": 2},
+        "four independent interpolations — embarrassingly schedulable",
+    ),
+    _kernel(
+        "determinant3",
+        """
+        m0 = e * i - f * h;
+        m1 = d * i - f * g;
+        m2 = d * h - e * g;
+        det = a * m0 - b * m1 + c * m2;
+        """,
+        {"a": 1, "b": 2, "c": 3, "d": 4, "e": 5, "f": 6, "g": 7, "h": 8, "i": 9},
+        "three independent 2x2 minors feeding a final combine",
+    ),
+    _kernel(
+        "running-sum",
+        """
+        s1 = s0 + x1;
+        s2 = s1 + x2;
+        s3 = s2 + x3;
+        s4 = s3 + x4;
+        mean4 = s4 / 4;
+        """,
+        {"s0": 0, "x1": 1, "x2": 2, "x3": 3, "x4": 4},
+        "serial add chain (cheap ops) ending in a divide",
+    ),
+    _kernel(
+        "poly-eval-pair",
+        """
+        p = (a2 * x + a1) * x + a0;
+        q = (b2 * x + b1) * x + b0;
+        r = p * q;
+        """,
+        {"x": 2, "a0": 1, "a1": 2, "a2": 3, "b0": 4, "b1": 5, "b2": 6},
+        "two Horner chains that interleave perfectly, then join",
+    ),
+)
+
+#: Kernels by name.
+KERNELS_BY_NAME: Dict[str, Kernel] = {k.name: k for k in KERNELS}
+
+
+def get_kernel(name: str) -> Kernel:
+    try:
+        return KERNELS_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(KERNELS_BY_NAME))
+        raise KeyError(f"unknown kernel {name!r} (known: {known})") from None

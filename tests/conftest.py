@@ -1,0 +1,64 @@
+"""Shared fixtures: the paper's machines and worked examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.block import BasicBlock
+from repro.ir.dag import DependenceDAG
+from repro.ir.textual import parse_block
+from repro.machine.machine import MachineDescription
+from repro.machine.pipeline import PipelineDesc
+from repro.machine.presets import (
+    paper_example_machine,
+    paper_simulation_machine,
+    scalar_machine,
+)
+from repro.ir.ops import Opcode
+
+#: Figure 3's basic block, verbatim.
+FIGURE3_TEXT = """
+1: Const 15
+2: Store #b, 1
+3: Load #a
+4: Mul 1, 3
+5: Store #a, 4
+"""
+
+
+@pytest.fixture
+def sim_machine() -> MachineDescription:
+    """Tables 4+5 — the machine all paper results use."""
+    return paper_simulation_machine()
+
+
+@pytest.fixture
+def example_machine() -> MachineDescription:
+    """Tables 2+3 — the five-pipeline example machine."""
+    return paper_example_machine()
+
+
+@pytest.fixture
+def scalar() -> MachineDescription:
+    return scalar_machine()
+
+
+@pytest.fixture
+def figure3_block() -> BasicBlock:
+    return parse_block(FIGURE3_TEXT, "figure3")
+
+
+@pytest.fixture
+def figure3_dag(figure3_block) -> DependenceDAG:
+    return DependenceDAG(figure3_block)
+
+
+@pytest.fixture
+def section21_machine() -> MachineDescription:
+    """The machine implied by section 2.1's worked examples: a 4-tick
+    memory pipeline whose MAR is busy for the first 2 ticks of a Load."""
+    return MachineDescription(
+        "section-2.1",
+        [PipelineDesc("loader", 1, latency=4, enqueue_time=2)],
+        {Opcode.LOAD: {1}},
+    )

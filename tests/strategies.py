@@ -1,0 +1,102 @@
+"""Shared hypothesis strategies and deterministic generators for tests.
+
+Two sources of random inputs:
+
+* :func:`blocks` — arbitrary *tuple-level* basic blocks (wider than
+  anything the front end emits: Copy/Neg chains, repeated loads,
+  overwritten stores), for exercising IR/DAG/scheduler corner cases;
+* :func:`machines` — arbitrary deterministic machine descriptions with
+  1-4 pipelines, latencies 1-8 and legal enqueue times.
+
+Both shrink well: blocks shrink toward fewer tuples, machines toward a
+single latency-1 pipeline.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.ir.block import BasicBlock, BlockBuilder
+from repro.ir.ops import Opcode
+from repro.machine.machine import MachineDescription
+from repro.machine.pipeline import PipelineDesc
+
+VARIABLES = ("a", "b", "c", "d")
+
+#: Opcodes a random block may emit (weights handled by hypothesis' choice).
+_VALUE_OPS = (
+    Opcode.CONST,
+    Opcode.LOAD,
+    Opcode.COPY,
+    Opcode.NEG,
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+)
+
+
+@st.composite
+def blocks(draw, min_size: int = 1, max_size: int = 10, allow_div: bool = False):
+    """A random, valid basic block of tuple code."""
+    size = draw(st.integers(min_size, max_size))
+    builder = BlockBuilder("hypo")
+    value_refs = []  # idents of value-producing tuples emitted so far
+    ops = _VALUE_OPS + ((Opcode.DIV,) if allow_div else ())
+    for _ in range(size):
+        candidates = [Opcode.CONST, Opcode.LOAD]
+        if value_refs:
+            candidates = list(ops) + [Opcode.STORE]
+        op = draw(st.sampled_from(candidates))
+        if op is Opcode.CONST:
+            value_refs.append(builder.emit_const(draw(st.integers(-50, 50))))
+        elif op is Opcode.LOAD:
+            value_refs.append(builder.emit_load(draw(st.sampled_from(VARIABLES))))
+        elif op is Opcode.STORE:
+            builder.emit_store(
+                draw(st.sampled_from(VARIABLES)),
+                draw(st.sampled_from(value_refs)),
+            )
+        elif op in (Opcode.COPY, Opcode.NEG):
+            value_refs.append(
+                builder.emit_unary(op, draw(st.sampled_from(value_refs)))
+            )
+        else:
+            value_refs.append(
+                builder.emit_binary(
+                    op,
+                    draw(st.sampled_from(value_refs)),
+                    draw(st.sampled_from(value_refs)),
+                )
+            )
+    return builder.build()
+
+
+@st.composite
+def machines(draw, max_pipelines: int = 4):
+    """A random deterministic machine description."""
+    n_pipes = draw(st.integers(1, max_pipelines))
+    pipes = []
+    for ident in range(1, n_pipes + 1):
+        latency = draw(st.integers(1, 8))
+        enqueue = draw(st.integers(1, latency))
+        pipes.append(PipelineDesc(f"unit{ident}", ident, latency, enqueue))
+    # Each op class independently maps to one pipeline or none; Store is
+    # included so pipelined memory-write machines (and their carry-out
+    # conditions) get fuzzed too.
+    op_map = {}
+    for op in (Opcode.LOAD, Opcode.STORE, Opcode.ADD, Opcode.SUB,
+               Opcode.MUL, Opcode.DIV, Opcode.NEG, Opcode.COPY):
+        choice = draw(st.integers(0, n_pipes))
+        if choice:
+            op_map[op] = {choice}
+    return MachineDescription("hypo-machine", pipes, op_map)
+
+
+@st.composite
+def memories(draw, variables=VARIABLES):
+    """A full initial memory over the test variable pool (non-zero values
+    so random divisions stay defined)."""
+    return {
+        v: draw(st.integers(1, 50))
+        for v in variables
+    }

@@ -1,0 +1,66 @@
+"""Tests for the realistic-kernel suite and its experiment."""
+
+import pytest
+
+from repro.driver import compile_source
+from repro.experiments import kernels as kernels_experiment
+from repro.machine.presets import PRESETS, get_machine
+from repro.synth.kernels import KERNELS, KERNELS_BY_NAME, get_kernel
+
+DETERMINISTIC = [n for n in PRESETS if get_machine(n).is_deterministic]
+
+
+class TestSuiteIntegrity:
+    def test_names_unique(self):
+        assert len(KERNELS_BY_NAME) == len(KERNELS)
+
+    def test_get_kernel(self):
+        assert get_kernel("dot4").name == "dot4"
+        with pytest.raises(KeyError, match="unknown kernel"):
+            get_kernel("fft")
+
+    def test_every_kernel_has_complete_memory(self, sim_machine):
+        """The provided memory must cover every read variable, so the
+        kernels are verifiable out of the box."""
+        for kernel in KERNELS:
+            result = compile_source(
+                kernel.source, sim_machine, verify_memory=kernel.memory
+            )
+            assert result.search.completed, kernel.name
+
+
+@pytest.mark.parametrize("machine_name", DETERMINISTIC)
+def test_kernels_verify_on_every_machine(machine_name):
+    machine = get_machine(machine_name)
+    for kernel in KERNELS:
+        compile_source(kernel.source, machine, verify_memory=kernel.memory)
+
+
+class TestKernelExperiment:
+    def test_run_and_render(self):
+        result = kernels_experiment.run()
+        assert len(result.rows) == len(KERNELS)
+        text = result.render()
+        assert "dot4" in text and "horner5" in text
+        assert "speedup" in result.csv()
+
+    def test_all_provably_optimal(self):
+        result = kernels_experiment.run()
+        assert all(r.optimal_proved for r in result.rows)
+
+    def test_optimal_never_slower_than_any_scheduler(self):
+        result = kernels_experiment.run()
+        for row in result.rows:
+            assert row.cycles["optimal"] == min(row.cycles.values()), row.kernel
+
+    def test_serial_chain_gains_nothing(self):
+        """Horner's rule is one dependence chain: no schedule can hide
+        its multiplier latency — the paper's limiting case."""
+        result = kernels_experiment.run()
+        horner = next(r for r in result.rows if r.kernel == "horner5")
+        assert horner.speedup == 1.0
+
+    def test_parallel_kernels_gain_substantially(self):
+        result = kernels_experiment.run()
+        fir = next(r for r in result.rows if r.kernel == "fir3")
+        assert fir.speedup > 1.5

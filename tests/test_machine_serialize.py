@@ -1,0 +1,105 @@
+"""Tests for machine-description serialization (text and dict forms)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ir.ops import Opcode
+from repro.machine.presets import PRESETS, get_machine
+from repro.machine.serialize import (
+    MachineSyntaxError,
+    format_machine,
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+    parse_machine,
+    save_machine,
+)
+
+from .strategies import machines
+
+
+class TestDictForm:
+    def test_round_trip_every_preset(self):
+        for name in PRESETS:
+            machine = get_machine(name)
+            data = machine_to_dict(machine)
+            clone = machine_from_dict(data)
+            assert clone == machine
+
+    def test_is_json_serializable(self, sim_machine):
+        text = json.dumps(machine_to_dict(sim_machine))
+        clone = machine_from_dict(json.loads(text))
+        assert clone == sim_machine
+
+    def test_missing_keys(self):
+        with pytest.raises(ValueError, match="missing key"):
+            machine_from_dict({"name": "x"})
+
+    def test_empty_op_sets_are_omitted(self, sim_machine):
+        data = machine_to_dict(sim_machine)
+        assert "Add" not in data["op_map"]  # unpipelined on this machine
+        assert data["op_map"]["Load"] == [1]
+
+
+class TestTextForm:
+    def test_round_trip_every_preset(self):
+        for name in PRESETS:
+            machine = get_machine(name)
+            clone = parse_machine(format_machine(machine))
+            assert clone == machine
+
+    def test_paper_simulation_text(self, sim_machine):
+        text = format_machine(sim_machine)
+        assert "machine paper-simulation" in text
+        assert "pipeline loader  1  2  1" in text
+        assert "op Mul  2" in text
+
+    def test_comments_and_blanks_ignored(self):
+        text = """
+        ; a full-line comment
+        machine demo
+
+        pipeline alu 1 2 1   ; trailing comment
+        op Add 1
+        """
+        machine = parse_machine(text)
+        assert machine.name == "demo"
+        assert machine.sigma(Opcode.ADD) == 1
+
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("pipeline alu 1 2 1", "missing 'machine"),
+            ("machine a\nmachine b", "duplicate machine"),
+            ("machine a\npipeline alu 1 2", "pipeline takes"),
+            ("machine a\npipeline alu 1 1 2", "enqueue time cannot exceed"),
+            ("machine a\nop", "op takes"),
+            ("machine a\nop Jump 1", "unknown opcode"),
+            ("machine a\nop Add one", "must be integers"),
+            ("machine a\nfrobnicate", "unknown keyword"),
+            ("machine a b", "exactly one name"),
+        ],
+    )
+    def test_syntax_errors(self, text, fragment):
+        with pytest.raises((MachineSyntaxError, ValueError), match=fragment):
+            parse_machine(text)
+
+    def test_undefined_pipeline_in_op(self):
+        with pytest.raises(ValueError, match="unknown pipeline"):
+            parse_machine("machine a\npipeline alu 1 2 1\nop Add 9")
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path, example_machine):
+        path = tmp_path / "machine.txt"
+        save_machine(example_machine, path)
+        assert load_machine(path) == example_machine
+
+
+@given(machines())
+@settings(max_examples=80)
+def test_random_machines_round_trip_both_forms(machine):
+    assert machine_from_dict(machine_to_dict(machine)) == machine
+    assert parse_machine(format_machine(machine)) == machine

@@ -1,0 +1,195 @@
+"""Tests for the NOP-insertion (Ω) procedure — the timing heart of the
+reproduction.  Includes the paper's two worked examples from section 2.1
+and the property pinning the closed form to the paper's sequential
+formulation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ir.dag import DependenceDAG
+from repro.ir.textual import parse_block
+from repro.machine.machine import MachineDescription
+from repro.machine.pipeline import PipelineDesc
+from repro.ir.ops import Opcode
+from repro.sched.nop_insertion import (
+    IncrementalTimingState,
+    SigmaResolver,
+    compute_timing,
+    sequential_etas,
+    total_nops,
+)
+
+from .strategies import blocks, machines
+
+
+class TestSection21Examples:
+    """The two worked examples of section 2.1, on its 4-tick loader whose
+    MAR is busy for the first 2 ticks (enqueue time 2)."""
+
+    def test_dependence_delay(self, section21_machine):
+        # Load R1,X ; Add R0,R1  ->  "a delay of 3 clock ticks between
+        # the Load and Add instructions."
+        block = parse_block("1: Load #x\n2: Load #r0\n3: Add 1, 2\n")
+        dag = DependenceDAG(block)
+        timing = compute_timing(dag, (1, 2, 3), section21_machine)
+        # The Add depends on the second Load: issued at t=?  Check the
+        # simplest pair directly instead:
+        pair = parse_block("1: Load #x\n2: Neg 1")
+        pair_dag = DependenceDAG(pair)
+        pair_timing = compute_timing(pair_dag, (1, 2), section21_machine)
+        assert pair_timing.etas == (0, 3)  # latency 4 => 3 NOPs
+
+    def test_conflict_delay(self, section21_machine):
+        # Load R1,X ; Load R2,Y -> "a delay of 1 clock tick ... between
+        # the two Load operations" (MAR busy 2 ticks).
+        block = parse_block("1: Load #x\n2: Load #y")
+        dag = DependenceDAG(block)
+        timing = compute_timing(dag, (1, 2), section21_machine)
+        assert timing.etas == (0, 1)
+
+
+class TestFigure3OnSimulationMachine:
+    def test_program_order(self, figure3_dag, sim_machine):
+        timing = compute_timing(figure3_dag, (1, 2, 3, 4, 5), sim_machine)
+        # Mul waits for the Load (latency 2, one instruction between);
+        # Store #a waits for the Mul (latency 4).
+        assert timing.etas == (0, 0, 0, 1, 3)
+        assert timing.total_nops == 4
+        assert timing.issue_span_cycles == 9
+
+    def test_optimal_order(self, figure3_dag, sim_machine):
+        timing = compute_timing(figure3_dag, (3, 1, 4, 2, 5), sim_machine)
+        assert timing.etas == (0, 0, 0, 0, 2)
+        assert timing.total_nops == 2
+
+    def test_illegal_order_rejected(self, figure3_dag, sim_machine):
+        with pytest.raises(ValueError, match="not a legal"):
+            compute_timing(figure3_dag, (4, 1, 3, 2, 5), sim_machine)
+
+    def test_total_nops_helper(self, figure3_dag, sim_machine):
+        assert total_nops(figure3_dag, (1, 2, 3, 4, 5), sim_machine) == 4
+
+
+class TestEnqueueConflicts:
+    def test_same_pipeline_spacing(self, sim_machine):
+        # Two Muls back to back: multiplier enqueue time is 2.
+        block = parse_block(
+            "1: Load #a\n2: Load #b\n3: Mul 1, 2\n4: Mul 1, 2"
+        )
+        dag = DependenceDAG(block)
+        timing = compute_timing(dag, (1, 2, 3, 4), sim_machine)
+        # Mul(3): Load #b issued at 1, +2 latency => issue at 3 (eta 1).
+        # Mul(4): enqueue 2 after Mul(3) at t=3 => t>=5, base t=4, eta 1.
+        assert timing.etas == (0, 0, 1, 1)
+
+    def test_loader_enqueue_one_never_conflicts(self, sim_machine):
+        block = parse_block("1: Load #a\n2: Load #b\n3: Load #c")
+        dag = DependenceDAG(block)
+        assert compute_timing(dag, (1, 2, 3), sim_machine).total_nops == 0
+
+    def test_unpipelined_unit_is_exclusive(self):
+        machine = MachineDescription(
+            "serial-mult",
+            [PipelineDesc("mult", 1, latency=3, enqueue_time=3)],
+            {Opcode.MUL: {1}},
+        )
+        block = parse_block(
+            "1: Const 2\n2: Const 3\n3: Mul 1, 2\n4: Mul 1, 2\n5: Mul 1, 2"
+        )
+        dag = DependenceDAG(block)
+        timing = compute_timing(dag, (1, 2, 3, 4, 5), machine)
+        # Each Mul must wait the full 3 ticks of its predecessor.
+        assert timing.etas == (0, 0, 0, 2, 2)
+
+
+class TestIncrementalState:
+    def test_push_pop_is_exact_inverse(self, figure3_dag, sim_machine):
+        resolver = SigmaResolver(figure3_dag, sim_machine)
+        state = IncrementalTimingState(figure3_dag, resolver)
+        state.push(1)
+        state.push(3)
+        snapshot = (state.order, state.etas, state.total_nops)
+        state.push(4)
+        state.pop()
+        assert (state.order, state.etas, state.total_nops) == snapshot
+
+    def test_snapshot_matches_compute_timing(self, figure3_dag, sim_machine):
+        resolver = SigmaResolver(figure3_dag, sim_machine)
+        state = IncrementalTimingState(figure3_dag, resolver)
+        for ident in (3, 1, 4, 2, 5):
+            state.push(ident)
+        direct = compute_timing(figure3_dag, (3, 1, 4, 2, 5), sim_machine)
+        assert state.snapshot() == direct
+
+    def test_peek_does_not_mutate(self, figure3_dag, sim_machine):
+        resolver = SigmaResolver(figure3_dag, sim_machine)
+        state = IncrementalTimingState(figure3_dag, resolver)
+        state.push(1)
+        before = (state.order, state.total_nops)
+        state.peek_eta(3)  # a root
+        state.peek_eta(2)  # ready: its only predecessor (1) is scheduled
+        assert (state.order, state.total_nops) == before
+
+    def test_first_instruction_needs_no_nops(self, figure3_dag, sim_machine):
+        resolver = SigmaResolver(figure3_dag, sim_machine)
+        state = IncrementalTimingState(figure3_dag, resolver)
+        assert state.peek_eta(1) == 0
+        assert state.push(1) == 0
+        assert state.issue_time_of(1) == 0
+
+
+class TestSigmaResolver:
+    def test_assignment_overrides(self, figure3_dag, example_machine):
+        resolver = SigmaResolver(
+            figure3_dag, example_machine, assignment={3: 2, 4: 5, 1: None, 2: None, 5: None}
+        )
+        assert resolver.sigma(3) == 2
+        assert resolver.latency(3) == 2
+
+    def test_assignment_rejects_unknown_pipeline(self, figure3_dag, example_machine):
+        with pytest.raises(ValueError, match="unknown pipeline"):
+            SigmaResolver(figure3_dag, example_machine, assignment={3: 42})
+
+    def test_assignment_rejects_wrong_pipeline_class(
+        self, figure3_dag, example_machine
+    ):
+        # Tuple 4 is a Mul; pipeline 1 is a loader.
+        with pytest.raises(ValueError, match="cannot execute"):
+            SigmaResolver(
+                figure3_dag,
+                example_machine,
+                assignment={1: None, 2: None, 3: 1, 4: 1, 5: None},
+            )
+
+
+# ----------------------------------------------------------------------
+# The key property: the paper's sequential algorithm and the closed form
+# agree on every (block, order, machine).
+# ----------------------------------------------------------------------
+@given(blocks(max_size=9), machines())
+@settings(max_examples=150, deadline=None)
+def test_sequential_equals_closed_form(block, machine):
+    dag = DependenceDAG(block)
+    import itertools
+
+    for order in itertools.islice(dag.iter_legal_orders(), 8):
+        closed = compute_timing(dag, order, machine).etas
+        sequential = sequential_etas(dag, order, machine)
+        assert closed == sequential
+
+
+@given(blocks(max_size=9), machines())
+@settings(max_examples=100, deadline=None)
+def test_etas_are_minimal_pointwise(block, machine):
+    """Removing any single NOP from an Ω schedule violates a constraint:
+    re-running Ω over the stream with one eta reduced must restore it."""
+    dag = DependenceDAG(block)
+    order = dag.idents
+    timing = compute_timing(dag, order, machine)
+    resolver = SigmaResolver(dag, machine)
+    # Rebuild incrementally and check every eta is exactly the peek value
+    # (i.e. the minimum the constraints allow at that point).
+    state = IncrementalTimingState(dag, resolver)
+    for ident, eta in zip(order, timing.etas):
+        assert state.peek_eta(ident) == eta
+        state.push(ident)

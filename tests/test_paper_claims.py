@@ -1,0 +1,164 @@
+"""An audit of the paper's own checkable numbers.
+
+The prose of TR-EE 90-11 contains arithmetic claims independent of any
+implementation (factorials, percentages, the "5 years" estimate).  This
+module re-derives each one — partly as a sanity net for our constants,
+partly as executable documentation of what the paper actually says.
+"""
+
+import math
+
+import pytest
+
+from repro.machine.presets import paper_example_machine, paper_simulation_machine
+from repro.sched.exhaustive import exhaustive_search_size
+
+
+class TestSection23Arithmetic:
+    """Section 2.3's complexity worked example."""
+
+    def test_fifteen_factorial(self):
+        # "Q would be applied 15!, or 1,307,674,368,000, times."
+        assert exhaustive_search_size(15) == 1_307_674_368_000
+
+    def test_five_years_on_the_np1(self):
+        # "0.12 milliseconds on a heavily-loaded Gould NP1 ... a mere
+        # 156,920,924 seconds — just under 5 years!"
+        seconds = exhaustive_search_size(15) * 0.12e-3
+        assert round(seconds) == 156_920_924
+        years = seconds / (365.25 * 24 * 3600)
+        assert 4.9 < years < 5.0  # "just under 5 years"
+
+    def test_sun_350_is_slower(self):
+        # 0.3 ms per Q on the Sun 3/50 => ~12.4 years; the paper quotes
+        # the NP1 figure as the flattering one.
+        seconds = exhaustive_search_size(15) * 0.3e-3
+        assert seconds > 156_920_924
+
+
+class TestTable1Factorials:
+    """Table 1's 'Exhaustive Search Calls' column is just n!."""
+
+    @pytest.mark.parametrize(
+        "n,printed",
+        [
+            (8, 40_320),
+            (11, 39_916_800),
+        ],
+    )
+    def test_exact_entries(self, n, printed):
+        assert exhaustive_search_size(n) == printed
+
+    @pytest.mark.parametrize(
+        "n,mantissa,exponent",
+        [
+            (13, 6.2, 9),
+            (14, 8.7, 10),
+            (16, 2.1, 13),
+            (20, 2.4, 18),
+            (21, 5.1, 19),
+            (22, 1.1, 21),
+        ],
+    )
+    def test_scientific_entries(self, n, mantissa, exponent):
+        value = exhaustive_search_size(n)
+        assert value == pytest.approx(mantissa * 10**exponent, rel=0.05)
+
+
+class TestTable7Arithmetic:
+    """Internal consistency of Table 7's published numbers."""
+
+    def test_percentages(self):
+        assert round(100 * 15_812 / 16_000, 2) == 98.83
+        assert round(100 * 188 / 16_000, 2) == 1.18  # paper prints 1.17
+        # (the pair sums to 100.00 only with the paper's rounding)
+
+    def test_average_block_size_is_consistent(self):
+        # Complete avg 20.50 over 15,812 + truncated avg 32.28 over 188
+        # => overall ~20.64, matching the prose's "average ... was 20.6".
+        overall = (20.50 * 15_812 + 32.28 * 188) / 16_000
+        assert 20.5 < overall < 20.7
+
+    def test_throughput_claim(self):
+        # "~0.1s" per complete search on a Sun 3/50 vs "schedules about
+        # 100 typical blocks per second" (section 6): the conclusions'
+        # throughput must refer to *total compiler* throughput with the
+        # per-block search amortized over easy blocks — at face value
+        # 0.1 s/block is 10 blocks/s.  We reproduce the shape, not the
+        # inconsistency; our measured throughput is in EXPERIMENTS.md.
+        assert 1 / 0.1 == 10
+
+
+class TestMachineTables:
+    """Tables 2 and 4 transcribed exactly."""
+
+    def test_table2_rows(self):
+        machine = paper_example_machine()
+        rows = [
+            (p.function, p.ident, p.latency, p.enqueue_time)
+            for p in machine.pipelines
+        ]
+        assert rows == [
+            ("loader", 1, 2, 1),
+            ("loader", 2, 2, 1),
+            ("adder", 3, 4, 3),
+            ("adder", 4, 4, 3),
+            ("multiplier", 5, 4, 2),
+        ]
+
+    def test_table3_mapping(self):
+        from repro.ir.ops import Opcode
+
+        machine = paper_example_machine()
+        assert machine.op_map[Opcode.LOAD] == frozenset({1, 2})
+        assert machine.op_map[Opcode.ADD] == frozenset({3, 4})
+        assert machine.op_map[Opcode.SUB] == frozenset({3, 4})
+        assert machine.op_map[Opcode.MUL] == frozenset({5})
+        assert machine.op_map[Opcode.DIV] == frozenset({5})
+
+    def test_table4_rows(self):
+        machine = paper_simulation_machine()
+        rows = [
+            (p.function, p.ident, p.latency, p.enqueue_time)
+            for p in machine.pipelines
+        ]
+        assert rows == [("loader", 1, 2, 1), ("multiplier", 2, 4, 2)]
+
+
+class TestHeadlineClaims:
+    """The abstract's quantitative claims, against our reproduction."""
+
+    def test_truncation_below_two_percent(self):
+        # "this truncation only rarely (in less than 2% of the cases
+        # examined) sacrifices optimality" — our default-scale corpus
+        # reproduces the regime (measured 0.4-1.2% truncated).
+        from repro.experiments.runner import run_population
+
+        records = run_population(200, curtail=50_000, master_seed=42)
+        truncated = sum(not r.completed for r in records)
+        assert truncated / len(records) < 0.02
+
+    def test_lambda_of_one_thousand_suffices_for_most(self):
+        # Section 2.3: "the vast majority of all blocks will terminate on
+        # case [1] if lambda is on the order of 1,000."
+        from repro.experiments.runner import run_population
+
+        records = run_population(200, curtail=1_000, master_seed=42)
+        complete = sum(r.completed for r in records)
+        assert complete / len(records) > 0.90
+
+    def test_fifty_for_small_blocks(self):
+        # "for most blocks of fewer than 20 instructions, a lambda value
+        # of about 50 would suffice" — with the full prune set the seed
+        # pricing alone costs 3n, so allow the modern equivalent: most
+        # sub-20 blocks finish within 3n + 50 omega calls.
+        from repro.experiments.runner import run_population
+
+        records = [
+            r
+            for r in run_population(200, curtail=50_000, master_seed=42)
+            if r.size < 20
+        ]
+        assert records
+        within = sum(r.omega_calls <= 3 * r.size + 50 for r in records)
+        assert within / len(records) > 0.60

@@ -1,0 +1,67 @@
+"""Tests pinning the block-population calibration to Figure 5's shape."""
+
+import statistics
+
+from repro.synth.population import (
+    PopulationSpec,
+    sample_population,
+    size_histogram,
+)
+
+
+class TestReproducibility:
+    def test_same_seed_same_population(self):
+        a = [len(gb.block) for gb in sample_population(50, master_seed=7)]
+        b = [len(gb.block) for gb in sample_population(50, master_seed=7)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [len(gb.block) for gb in sample_population(50, master_seed=7)]
+        b = [len(gb.block) for gb in sample_population(50, master_seed=8)]
+        assert a != b
+
+    def test_population_is_lazy(self):
+        stream = sample_population(10_000, master_seed=1)
+        first = next(stream)
+        assert first.block.name == "pop-0"
+
+
+class TestFigure5Calibration:
+    """Pins the defaults to the paper's population profile: mean ~20.6,
+    right-skewed, with a rare tail past 40 instructions."""
+
+    def setup_method(self):
+        self.sizes = [
+            len(gb.block) for gb in sample_population(800, master_seed=1990)
+        ]
+
+    def test_mean_matches_paper(self):
+        mean = statistics.mean(self.sizes)
+        assert 18.0 <= mean <= 23.5, mean
+
+    def test_right_skewed(self):
+        assert statistics.median(self.sizes) < statistics.mean(self.sizes) + 2
+        assert max(self.sizes) > 40
+
+    def test_blocks_over_forty_are_rare(self):
+        over = sum(s > 40 for s in self.sizes) / len(self.sizes)
+        assert 0.0 < over < 0.08
+
+    def test_histogram_buckets(self):
+        blocks = list(sample_population(100, master_seed=3))
+        hist = size_histogram(blocks, bucket=5)
+        assert sum(count for _, count in hist) == 100
+        assert all(start % 5 == 0 for start, _ in hist)
+
+
+class TestCustomSpecs:
+    def test_statement_bounds_respected(self):
+        spec = PopulationSpec(min_statements=5, max_statements=6)
+        for gb in sample_population(30, master_seed=2, spec=spec):
+            assert 5 <= gb.statements <= 6
+
+    def test_unoptimized_population(self):
+        spec = PopulationSpec()
+        raw = list(sample_population(20, master_seed=2, spec=spec, optimize=False))
+        opt = list(sample_population(20, master_seed=2, spec=spec, optimize=True))
+        assert sum(len(gb.block) for gb in raw) >= sum(len(gb.block) for gb in opt)

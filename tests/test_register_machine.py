@@ -1,0 +1,183 @@
+"""Tests for the assembly parser and the register-level machine — the
+text-level round trip: generated assembly must parse back and execute to
+source semantics with the schedule's exact cycle count."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.asmparser import AsmSyntaxError, parse_assembly
+from repro.codegen.assembly import DelayDiscipline, generate_assembly
+from repro.driver import compile_source
+from repro.frontend.ast import run_program
+from repro.ir.dag import DependenceDAG
+from repro.ir.ops import Opcode
+from repro.machine.presets import get_machine, paper_simulation_machine
+from repro.regalloc.allocator import allocate_registers
+from repro.sched.search import schedule_block
+from repro.simulator.register_machine import (
+    RegisterHazardError,
+    RegisterMachine,
+)
+from repro.synth.generator import generate_program, variable_names
+from repro.synth.kernels import KERNELS
+from repro.synth.stats import GeneratorProfile
+from repro.frontend.lowering import lower_program
+
+
+class TestParser:
+    def test_full_instruction_set(self):
+        text = """
+        ; header comment
+        LI   R0, 15
+        LD   R1, x
+        NOP
+        MOV  R2, R1
+        NEG  R3, R2
+        ADD  R4, R0, R1
+        SUB  R5, R4, R0
+        MUL  R6, R5, R5
+        DIV  R7, R6, R0
+        ST   y, R7
+        """
+        program = parse_assembly(text)
+        assert [i.opcode for i in program] == [
+            Opcode.CONST, Opcode.LOAD, Opcode.COPY, Opcode.NEG, Opcode.ADD,
+            Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.STORE,
+        ]
+        assert program[2].wait == 1  # the NOP folded into MOV
+        assert program[0].immediate == 15
+        assert program[-1].variable == "y"
+        assert program[-1].src_regs == (7,)
+
+    def test_wait_tags(self):
+        program = parse_assembly("[wait=3] LI R0, 1")
+        assert program[0].wait == 3
+
+    def test_nops_accumulate(self):
+        program = parse_assembly("NOP\nNOP\nLI R0, 1")
+        assert program[0].wait == 2
+
+    def test_trailing_nops_dropped(self):
+        program = parse_assembly("LI R0, 1\nNOP\nNOP")
+        assert len(program) == 1
+
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("JMP R0", "unknown mnemonic"),
+            ("LI R0", "expects 2 operands"),
+            ("LI X0, 5", "expected a register"),
+            ("LI R0, lots", "bad immediate"),
+            ("[wait=2] NOP", "NOP cannot carry"),
+            ("[wait=2]", "wait tag without"),
+            ("ADD R0, R1", "expects 3 operands"),
+        ],
+    )
+    def test_errors(self, text, fragment):
+        with pytest.raises(AsmSyntaxError, match=fragment):
+            parse_assembly(text)
+
+
+class TestRegisterMachine:
+    def test_figure3_text_round_trip(self, sim_machine):
+        result = compile_source("b = 15; a = b * a;", sim_machine)
+        machine = RegisterMachine(sim_machine)
+        trace = machine.run_text(str(result.assembly), {"a": 3})
+        assert trace.memory["a"] == 45 and trace.memory["b"] == 15
+        assert trace.total_cycles == result.issue_span_cycles
+
+    def test_under_waited_text_faults(self, sim_machine):
+        # Mul result used immediately: missing NOPs must be detected.
+        text = "LD R0, a\nNOP\nMUL R1, R0, R0\nST b, R1"
+        machine = RegisterMachine(sim_machine)
+        with pytest.raises(RegisterHazardError, match="not safe"):
+            machine.run_text(text, {"a": 2})
+
+    def test_implicit_mode_stalls_instead(self, sim_machine):
+        text = "LD R0, a\nMUL R1, R0, R0\nST b, R1"
+        machine = RegisterMachine(sim_machine)
+        trace = machine.run_text(text, {"a": 2}, stall_on_hazard=True)
+        assert trace.memory["b"] == 4
+        assert trace.stall_cycles > 0
+
+    def test_read_before_write_faults(self, sim_machine):
+        machine = RegisterMachine(sim_machine)
+        with pytest.raises(RegisterHazardError, match="before any write"):
+            machine.run_text("ADD R0, R1, R2")
+
+    def test_undefined_variable_faults(self, sim_machine):
+        machine = RegisterMachine(sim_machine)
+        with pytest.raises(RegisterHazardError, match="undefined variable"):
+            machine.run_text("LD R0, ghost")
+
+    def test_explicit_interlock_text(self, sim_machine):
+        result = compile_source(
+            "b = 15; a = b * a;",
+            sim_machine,
+            discipline=DelayDiscipline.EXPLICIT_INTERLOCK,
+        )
+        machine = RegisterMachine(sim_machine)
+        trace = machine.run_text(str(result.assembly), {"a": 3})
+        assert trace.memory["a"] == 45
+        assert trace.total_cycles == result.issue_span_cycles
+
+    def test_implicit_interlock_text(self, sim_machine):
+        result = compile_source(
+            "b = 15; a = b * a;",
+            sim_machine,
+            discipline=DelayDiscipline.IMPLICIT_INTERLOCK,
+        )
+        machine = RegisterMachine(sim_machine)
+        trace = machine.run_text(
+            str(result.assembly), {"a": 3}, stall_on_hazard=True
+        )
+        assert trace.memory["a"] == 45
+        # Hardware stalls recover exactly the compiler's NOP count.
+        assert trace.total_cycles == result.issue_span_cycles
+
+    def test_kernels_round_trip_as_text(self, sim_machine):
+        machine = RegisterMachine(sim_machine)
+        for kernel in KERNELS:
+            result = compile_source(kernel.source, sim_machine, name=kernel.name)
+            trace = machine.run_text(str(result.assembly), kernel.memory)
+            expected = run_program(result.program, kernel.memory)
+            for var in result.program.variables_written():
+                assert Fraction(trace.memory[var]) == Fraction(expected[var]), (
+                    kernel.name,
+                    var,
+                )
+            assert trace.total_cycles == result.issue_span_cycles, kernel.name
+
+
+@given(
+    statements=st.integers(2, 12),
+    seed=st.integers(0, 3_000),
+    machine_name=st.sampled_from(
+        ["paper-simulation", "deep-memory", "unpipelined-units", "scalar"]
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_text_level_round_trip_property(statements, seed, machine_name):
+    """The strongest end-to-end property in the suite: random program ->
+    optimize -> schedule -> allocate -> *emit text* -> reparse -> execute
+    on the register machine == source semantics, in exactly the cycles
+    the scheduler promised."""
+    machine = get_machine(machine_name)
+    profile = GeneratorProfile(exclude_division=True)
+    program = generate_program(statements, 5, 3, seed, profile)
+    block = lower_program(program)
+    if not len(block):
+        return
+    dag = DependenceDAG(block)
+    result = schedule_block(dag, machine)
+    allocation = allocate_registers(block, result.best.order)
+    assembly = generate_assembly(block, result.best, allocation)
+    memory = {v: 2 * i + 1 for i, v in enumerate(variable_names(5))}
+    trace = RegisterMachine(machine).run_text(str(assembly), memory)
+    expected = run_program(program, memory)
+    for var in program.variables_written():
+        assert trace.memory[var] == expected[var], var
+    assert trace.total_cycles == result.best.issue_span_cycles

