@@ -6,7 +6,7 @@ import pytest
 
 from repro.experiments import extension
 from repro.ir.dag import DependenceDAG
-from repro.machine.presets import asymmetric_units_machine, paper_example_machine
+from repro.machine.presets import paper_example_machine
 from repro.sched.multi import (
     first_pipeline_assignment,
     schedule_block_multi,

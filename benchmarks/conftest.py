@@ -19,7 +19,8 @@ import pathlib
 
 import pytest
 
-from repro.experiments.runner import DEFAULT_CURTAIL, PAPER_BLOCKS, run_population
+from repro.experiments.parallel import run_population_parallel
+from repro.experiments.runner import DEFAULT_CURTAIL, PAPER_BLOCKS
 
 #: Benchmark-default fraction of the paper's population.
 BENCH_SCALE = 1 / 40
@@ -34,9 +35,17 @@ def bench_population_size() -> int:
 
 @pytest.fixture(scope="session")
 def population_records():
-    """The shared scheduled-population records (Table 7's corpus)."""
-    return run_population(
-        bench_population_size(), curtail=DEFAULT_CURTAIL, master_seed=1990
+    """The shared scheduled-population records (Table 7's corpus).
+
+    ``REPRO_WORKERS`` fans the run out over a process pool (default 1,
+    which takes the serial path — identical records either way).
+    """
+    workers = max(1, int(os.environ.get("REPRO_WORKERS", "1") or "1"))
+    return run_population_parallel(
+        bench_population_size(),
+        curtail=DEFAULT_CURTAIL,
+        master_seed=1990,
+        workers=workers,
     )
 
 

@@ -15,10 +15,10 @@ Run:  python examples/block_sequence.py
 """
 
 from repro import compile_program, compile_source
+from repro.codegen import padded_stream
 from repro.ir import Opcode
 from repro.machine import MachineDescription, PipelineDesc
 from repro.simulator import HazardError, PipelineSimulator
-from repro.codegen import padded_stream
 
 SOURCE = """
     sum = a * b;

@@ -10,11 +10,11 @@ Run:  python examples/quickstart.py
 """
 
 from repro import compile_source, paper_simulation_machine
+from repro.codegen import padded_stream
 from repro.codegen.assembly import DelayDiscipline, generate_assembly
 from repro.ir import format_block
 from repro.sched import compute_timing, list_schedule
 from repro.simulator import PipelineSimulator
-from repro.codegen import padded_stream
 
 SOURCE = """
 {

@@ -30,6 +30,7 @@ True
 >>> print(result.assembly)          # doctest: +SKIP
 """
 
+from .analysis import explain_schedule, render_timeline
 from .driver import (
     CompilationResult,
     ProgramCompilation,
@@ -67,7 +68,6 @@ from .sched import (
     schedule_block_split,
     schedule_sequence,
 )
-from .analysis import explain_schedule, render_timeline
 
 __version__ = "0.1.0"
 

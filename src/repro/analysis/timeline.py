@@ -16,7 +16,7 @@ Legend per pipeline column::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..ir.block import BasicBlock
 from ..ir.dag import DependenceDAG

@@ -26,6 +26,7 @@ from .ir.textual import format_block
 from .machine.presets import PRESETS, get_machine
 from .machine.serialize import load_machine
 from .sched.search import SearchOptions
+from .telemetry import Telemetry
 
 _DISCIPLINES = {d.value: d for d in DelayDiscipline}
 
@@ -118,6 +119,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "-o", "--output", default=None, help="write assembly to a file"
     )
+    parser.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        default=None,
+        help="write search telemetry (prune counters, phase times) to "
+        "PATH as JSON",
+    )
     return parser
 
 
@@ -161,6 +169,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if "all" in show:
         show = set(SHOW_CHOICES) - {"all"}
 
+    telemetry = Telemetry() if args.stats_json else None
+
+    def _write_stats() -> None:
+        if telemetry is not None:
+            telemetry.write_json(
+                args.stats_json,
+                meta={"scheduler": args.scheduler, "machine": args.machine},
+            )
+
     multi_block = (not args.tuples) and "barrier" in source
     try:
         if args.tuples:
@@ -182,6 +199,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 optimize=False,
                 num_registers=args.registers,
                 discipline=_DISCIPLINES[args.discipline],
+                telemetry=telemetry,
             )
         elif multi_block:
             compiled = compile_program(
@@ -193,7 +211,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 num_registers=args.registers,
                 discipline=_DISCIPLINES[args.discipline],
                 verify_memory=args.verify,
+                telemetry=telemetry,
             )
+            _write_stats()
             return _emit_program(compiled, show, args)
         else:
             result = compile_source(
@@ -205,10 +225,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 num_registers=args.registers,
                 discipline=_DISCIPLINES[args.discipline],
                 verify_memory=args.verify,
+                telemetry=telemetry,
             )
     except Exception as exc:
         print(f"repro-compile: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 1
+    _write_stats()
 
     chunks: List[str] = []
     if "tuples" in show:

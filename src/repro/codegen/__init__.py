@@ -1,6 +1,7 @@
 """Assembly emission for the synthetic target, in all three delay
 disciplines of section 2.2."""
 
+from .asmparser import AsmInstruction, AsmSyntaxError, parse_assembly
 from .assembly import (
     AssemblyProgram,
     DelayDiscipline,
@@ -8,7 +9,6 @@ from .assembly import (
     generate_assembly,
     padded_stream,
 )
-from .asmparser import AsmInstruction, AsmSyntaxError, parse_assembly
 
 __all__ = [
     "AssemblyProgram",

@@ -23,7 +23,7 @@ Accepted syntax, per line::
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..ir.ops import Opcode

@@ -20,7 +20,7 @@ Two entry points:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Mapping, Optional
 
 from .codegen.assembly import (
     AssemblyProgram,
@@ -42,6 +42,7 @@ from .sched.list_scheduler import list_schedule, program_order
 from .sched.nop_insertion import ScheduleTiming, compute_timing
 from .sched.search import SearchOptions, SearchResult, schedule_block
 from .simulator.core import PipelineSimulator
+from .telemetry import Telemetry
 
 #: Scheduler selection for :func:`compile_source`.  "multi" is the
 #: pipeline-selection extension (footnote 3) — the only choice that
@@ -89,6 +90,7 @@ def compile_source(
     discipline: DelayDiscipline = DelayDiscipline.NOP_PADDED,
     verify_memory: Optional[Mapping[str, int]] = None,
     name: str = "block",
+    telemetry: Optional[Telemetry] = None,
 ) -> CompilationResult:
     """Compile one straight-line source block end to end.
 
@@ -125,12 +127,12 @@ def compile_source(
     search: Optional[SearchResult] = None
     assignment = None
     if scheduler == "optimal":
-        search = schedule_block(dag, machine, options)
+        search = schedule_block(dag, machine, options, telemetry=telemetry)
         timing = search.best
     elif scheduler == "multi":
         from .sched.multi import schedule_block_multi
 
-        multi = schedule_block_multi(dag, machine, options)
+        multi = schedule_block_multi(dag, machine, options, telemetry=telemetry)
         assignment = dict(multi.assignment)
         timing = compute_timing(
             dag, multi.order, machine, assignment=assignment
@@ -236,6 +238,7 @@ def compile_block(
     optimize: bool = False,
     num_registers: Optional[int] = None,
     discipline: DelayDiscipline = DelayDiscipline.NOP_PADDED,
+    telemetry: Optional[Telemetry] = None,
 ) -> CompilationResult:
     """Compile hand-written tuple code (no front end).
 
@@ -261,12 +264,14 @@ def compile_block(
     search: Optional[SearchResult] = None
     assignment = None
     if scheduler == "optimal":
-        search = schedule_block(dag, machine, block_options)
+        search = schedule_block(dag, machine, block_options, telemetry=telemetry)
         timing = search.best
     elif scheduler == "multi":
         from .sched.multi import schedule_block_multi
 
-        multi = schedule_block_multi(dag, machine, block_options)
+        multi = schedule_block_multi(
+            dag, machine, block_options, telemetry=telemetry
+        )
         assignment = dict(multi.assignment)
         timing = compute_timing(dag, multi.order, machine, assignment=assignment)
     elif scheduler == "gross":
@@ -342,6 +347,7 @@ def compile_program(
     discipline: DelayDiscipline = DelayDiscipline.NOP_PADDED,
     verify_memory: Optional[Mapping[str, int]] = None,
     name: str = "program",
+    telemetry: Optional[Telemetry] = None,
 ) -> ProgramCompilation:
     """Compile a multi-block program (blocks separated by ``barrier;``).
 
@@ -388,7 +394,11 @@ def compile_program(
         search: Optional[SearchResult] = None
         if scheduler == "optimal":
             search = schedule_block(
-                dag, machine, block_options, initial_conditions=conditions
+                dag,
+                machine,
+                block_options,
+                initial_conditions=conditions,
+                telemetry=telemetry,
             )
             timing = search.best
         elif scheduler == "gross":

@@ -9,7 +9,8 @@ Examples::
     repro-experiments all
     repro-experiments table7 --blocks 2000
     repro-experiments table1 fig4 --csv results/
-    REPRO_SCALE=1 repro-experiments all        # full 16,000-block runs
+    repro-experiments table7 --workers 8 --stats-json stats.json
+    REPRO_SCALE=1 repro-experiments all --workers 0   # full run, all cores
 """
 
 from __future__ import annotations
@@ -20,8 +21,24 @@ import sys
 import time
 from typing import List, Optional
 
-from . import ablation, extension, fig1, fig4, fig5, fig6, fig7, kernels, machines, prepass, stalls, table1, table7
-from .runner import DEFAULT_CURTAIL, population_size, run_population
+from ..telemetry import Telemetry
+from . import (
+    ablation,
+    extension,
+    fig1,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    kernels,
+    machines,
+    prepass,
+    stalls,
+    table1,
+    table7,
+)
+from .parallel import run_population_parallel
+from .runner import DEFAULT_CURTAIL, population_size
 
 #: Experiments that share the single population run.
 POPULATION_EXPERIMENTS = ("table7", "fig1", "fig4", "fig5", "fig6", "fig7")
@@ -73,6 +90,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--csv", metavar="DIR", default=None, help="also write CSVs to DIR"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="schedule the population across N worker processes "
+        "(0 = all cores; default: REPRO_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--block-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-block wall-clock budget; blocks over budget degrade to "
+        "their list-schedule seed instead of stalling the run",
+    )
+    parser.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        default=None,
+        help="write aggregated search telemetry (prune counters, phase "
+        "times) to PATH as JSON",
+    )
     args = parser.parse_args(argv)
 
     wanted = list(args.experiments)
@@ -82,17 +122,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
+    if args.stats_json:
+        # Fail now, not after a possibly hours-long population run.
+        try:
+            with open(args.stats_json, "a"):
+                pass
+        except OSError as exc:
+            parser.error(f"cannot write --stats-json {args.stats_json}: {exc}")
+
+    if args.workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
+    elif args.workers == 0:
+        workers = os.cpu_count() or 1
+    else:
+        workers = args.workers
+    if workers < 1:
+        parser.error("--workers must be >= 0")
+
+    telemetry = Telemetry()
     results = {}
     records = None
     if any(w in POPULATION_EXPERIMENTS for w in wanted):
         n_blocks = args.blocks if args.blocks is not None else population_size()
         print(
             f"[population] scheduling {n_blocks:,} synthetic blocks "
-            f"(lambda={args.curtail:,}, seed={args.seed}) ...",
+            f"(lambda={args.curtail:,}, seed={args.seed}, "
+            f"workers={workers}) ...",
             flush=True,
         )
         start = time.perf_counter()
-        records = run_population(n_blocks, args.curtail, args.seed)
+        with telemetry.phase("population"):
+            records = run_population_parallel(
+                n_blocks,
+                args.curtail,
+                args.seed,
+                workers=workers,
+                block_timeout=args.block_timeout,
+                telemetry=telemetry,
+            )
         print(f"[population] done in {time.perf_counter() - start:.1f}s\n")
 
     for name in wanted:
@@ -136,6 +203,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         results[name] = result
         if args.csv:
             _write_csv(args.csv, name, result.csv())
+
+    if args.stats_json:
+        telemetry.write_json(
+            args.stats_json,
+            meta={
+                "experiments": wanted,
+                "blocks": len(records) if records is not None else 0,
+                "curtail": args.curtail,
+                "master_seed": args.seed,
+                "workers": workers,
+                "block_timeout": args.block_timeout,
+            },
+        )
+        print(f"[stats] telemetry written to {args.stats_json}")
 
     return 0
 

@@ -15,8 +15,8 @@ from typing import Dict, List, Optional, Tuple
 
 from .report import format_series, to_csv
 from .runner import (
-    BlockRecord,
     DEFAULT_CURTAIL,
+    BlockRecord,
     bucket_by_size,
     mean,
     population_size,

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from .report import format_histogram, to_csv
-from .runner import BlockRecord, DEFAULT_CURTAIL, mean, population_size, run_population
+from .runner import DEFAULT_CURTAIL, BlockRecord, mean, population_size, run_population
 
 BUCKET = 5
 

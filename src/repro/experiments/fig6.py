@@ -15,8 +15,8 @@ from typing import List, Optional, Tuple
 
 from .report import format_table, to_csv
 from .runner import (
-    BlockRecord,
     DEFAULT_CURTAIL,
+    BlockRecord,
     bucket_by_size,
     mean,
     population_size,

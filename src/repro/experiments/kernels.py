@@ -13,10 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..driver import SCHEDULERS, compile_source
+from ..driver import compile_source
 from ..machine.machine import MachineDescription
 from ..machine.presets import paper_simulation_machine
-from ..synth.kernels import KERNELS, Kernel
+from ..synth.kernels import KERNELS
 from .report import format_table, to_csv
 
 COMPARED = ("none", "list", "gross", "optimal")

@@ -18,7 +18,7 @@ same unit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..ir.dag import DependenceDAG
 from ..ir.ops import Opcode

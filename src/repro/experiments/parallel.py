@@ -1,0 +1,173 @@
+"""Parallel population scheduling — process-pool fan-out of the corpus run.
+
+The paper's headline experiment schedules 16,000 synthetic blocks; the
+serial pass in :mod:`repro.experiments.runner` is embarrassingly
+parallel across blocks but bottlenecked on one core.  This module fans
+it out:
+
+1. The parent samples the population *parameter* stream (a few RNG draws
+   per block — no front end work) via
+   :func:`repro.synth.population.sample_population_params`.
+2. The parameters are striped round-robin into chunks, so the cost of
+   large blocks spreads evenly across workers.
+3. Each worker process rebuilds its blocks with
+   :func:`generate_from_params` and schedules them through the same
+   :func:`schedule_generated_block` step the serial runner uses,
+   accumulating its own telemetry registry.
+4. The parent merges records back into deterministic block-index order
+   and folds every worker's telemetry into the caller's registry.
+
+Because workers and the serial runner share one per-block code path and
+the parameter stream reproduces the population bit for bit, the merged
+records are identical to ``run_population``'s (wall-clock fields aside —
+``BlockRecord`` equality already excludes those).
+
+Degradation, not hangs: ``block_timeout`` bounds the wall-clock any one
+block may spend in the branch-and-bound; a block that exceeds it falls
+back to its list-schedule seed and is recorded ``completed=False``.
+Robustness, not ceremony: ``workers=1`` — or any failure to stand the
+pool up (sandboxed environments without process support, broken pools
+mid-flight) — falls back to the serial runner, which produces the same
+records.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import List, Optional, Sequence, Tuple
+
+from ..machine.machine import MachineDescription
+from ..machine.presets import paper_simulation_machine
+from ..sched.search import SearchOptions
+from ..synth.population import (
+    BlockParams,
+    PopulationSpec,
+    generate_from_params,
+    sample_population_params,
+)
+from ..telemetry import Telemetry
+from .runner import (
+    DEFAULT_CURTAIL,
+    BlockRecord,
+    run_population,
+    schedule_generated_block,
+)
+
+#: Chunks per worker: small enough to amortize submission overhead,
+#: large enough that round-robin striping levels the block-size skew.
+CHUNKS_PER_WORKER = 8
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_WORKERS`` if set, else the machine's cores."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def _run_chunk(
+    payload: Tuple[
+        Sequence[BlockParams],
+        MachineDescription,
+        PopulationSpec,
+        SearchOptions,
+        Optional[float],
+    ],
+) -> Tuple[List[BlockRecord], dict]:
+    """Worker entry point: schedule one parameter chunk.
+
+    Must stay a module-level function (pickled by the process pool).
+    Returns the chunk's records plus the worker telemetry as a plain
+    payload dict, which the parent merges.
+    """
+    params_chunk, machine, spec, options, block_timeout = payload
+    telemetry = Telemetry()
+    records: List[BlockRecord] = []
+    for params in params_chunk:
+        gb = generate_from_params(params, spec)
+        records.append(
+            schedule_generated_block(
+                params.index, gb, machine, options, telemetry, block_timeout
+            )
+        )
+    return records, telemetry.as_dict()
+
+
+def run_population_parallel(
+    n_blocks: int,
+    curtail: int = DEFAULT_CURTAIL,
+    master_seed: int = 1990,
+    machine: Optional[MachineDescription] = None,
+    spec: PopulationSpec = PopulationSpec(),
+    options: Optional[SearchOptions] = None,
+    workers: Optional[int] = None,
+    block_timeout: Optional[float] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> List[BlockRecord]:
+    """Schedule ``n_blocks`` synthetic blocks across a process pool.
+
+    Drop-in parallel equivalent of :func:`run_population`: same
+    parameters plus ``workers`` (default: ``REPRO_WORKERS`` or the CPU
+    count) and the same record list, in block-index order.  Serial
+    fallback when ``workers=1`` or the pool cannot be used.
+    """
+    if workers is None:
+        workers = default_workers()
+    if machine is None:
+        machine = paper_simulation_machine()
+    if options is None:
+        options = SearchOptions(curtail=curtail)
+
+    def serial() -> List[BlockRecord]:
+        return run_population(
+            n_blocks,
+            curtail,
+            master_seed,
+            machine,
+            spec,
+            options,
+            telemetry,
+            block_timeout,
+        )
+
+    if workers <= 1 or n_blocks <= 1:
+        return serial()
+
+    params = list(sample_population_params(n_blocks, master_seed, spec))
+    n_chunks = min(len(params), workers * CHUNKS_PER_WORKER)
+    # Round-robin striping: block cost is size-skewed and sizes drift
+    # along the stream, so contiguous spans would load-balance poorly.
+    chunks = [params[i::n_chunks] for i in range(n_chunks)]
+    payloads = [
+        (chunk, machine, spec, options, block_timeout) for chunk in chunks
+    ]
+
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_run_chunk, payloads))
+    except (BrokenProcessPool, OSError, PermissionError, RuntimeError):
+        # No usable process pool (restricted sandbox, missing /dev/shm,
+        # a worker killed mid-flight, ...): the records are deterministic,
+        # so redoing the run serially is always safe.
+        if telemetry is not None:
+            telemetry.count("parallel.fallbacks")
+        return serial()
+
+    records: List[BlockRecord] = []
+    for chunk_records, worker_stats in outcomes:
+        records.extend(chunk_records)
+        if telemetry is not None:
+            telemetry.merge(worker_stats)
+    records.sort(key=lambda r: r.index)
+    assert len(records) == n_blocks and all(
+        r.index == i for i, r in enumerate(records)
+    ), "parallel merge lost or duplicated block records"
+    if telemetry is not None:
+        telemetry.count("blocks.scheduled", len(records))
+        telemetry.count("parallel.runs")
+        telemetry.count("parallel.workers", workers)
+        telemetry.count("parallel.chunks", len(chunks))
+    return records

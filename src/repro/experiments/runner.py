@@ -8,13 +8,18 @@ Scale: the paper schedules 16,000 blocks.  ``population_size()`` reads
 ``REPRO_SCALE`` (a fraction of paper scale, default 0.125 ⇒ 2,000 blocks)
 so benchmarks stay tractable in pure Python while ``REPRO_SCALE=1``
 reproduces the full run.  Results are shape-stable across scales.
+
+The serial pass lives here; ``repro.experiments.parallel`` fans the same
+per-block step (:func:`schedule_generated_block`) out over a process
+pool.  Both paths build records through the same function, which is what
+makes the parallel engine's output bit-identical to the serial one.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Iterable, List, Optional
 
 from ..ir.dag import DependenceDAG
@@ -23,7 +28,9 @@ from ..machine.presets import paper_simulation_machine
 from ..sched.list_scheduler import program_order
 from ..sched.nop_insertion import compute_timing
 from ..sched.search import SearchOptions, schedule_block
+from ..synth.generator import GeneratedBlock
 from ..synth.population import PopulationSpec, sample_population
+from ..telemetry import Telemetry
 
 #: The paper's population size.
 PAPER_BLOCKS = 16_000
@@ -43,7 +50,13 @@ def population_size(default_scale: float = 0.125) -> int:
 
 @dataclass(frozen=True)
 class BlockRecord:
-    """Everything the experiments need to know about one scheduled block."""
+    """Everything the experiments need to know about one scheduled block.
+
+    ``elapsed_seconds`` is excluded from equality/hashing: two runs of
+    the same population are *the same result* regardless of wall clock,
+    which is what lets the parallel engine assert record-identity against
+    the serial runner.
+    """
 
     index: int
     size: int  # instructions (tuples) in the block
@@ -53,11 +66,74 @@ class BlockRecord:
     final_nops: int  # mu of the search's best schedule
     omega_calls: int
     completed: bool  # condition [1]: provably optimal
-    elapsed_seconds: float
+    elapsed_seconds: float = field(compare=False)
 
     @property
     def nops_removed(self) -> int:
         return self.initial_nops - self.final_nops
+
+
+def schedule_generated_block(
+    index: int,
+    gb: GeneratedBlock,
+    machine: MachineDescription,
+    options: SearchOptions,
+    telemetry: Optional[Telemetry] = None,
+    block_timeout: Optional[float] = None,
+) -> BlockRecord:
+    """Schedule one population member and build its record.
+
+    Empty blocks (the optimizer occasionally folds a whole program away)
+    produce a zero-size record instead of a gap, so ``BlockRecord.index``
+    stays dense and the record count always equals the population size.
+
+    ``block_timeout`` bounds the wall-clock spent searching this block;
+    a block that exceeds it degrades to its list-schedule seed (recorded
+    with ``completed=False``) instead of stalling the whole run.
+    """
+    block = gb.block
+    if len(block) == 0:
+        if telemetry is not None:
+            telemetry.count("blocks.empty")
+        return BlockRecord(
+            index=index,
+            size=0,
+            statements=gb.statements,
+            initial_nops=0,
+            seed_nops=0,
+            final_nops=0,
+            omega_calls=0,
+            completed=True,
+            elapsed_seconds=0.0,
+        )
+    if block_timeout is not None:
+        limit = (
+            block_timeout
+            if options.time_limit is None
+            else min(options.time_limit, block_timeout)
+        )
+        options = replace(options, time_limit=limit)
+    dag = DependenceDAG(block)
+    initial = compute_timing(dag, program_order(dag), machine)
+    start = time.perf_counter()
+    result = schedule_block(dag, machine, options, telemetry=telemetry)
+    elapsed = time.perf_counter() - start
+    # Deadline-truncated searches degrade to the list-schedule seed: the
+    # incumbent they stopped on depends on wall clock, the seed does not.
+    final_nops = result.initial_nops if result.timed_out else result.final_nops
+    if telemetry is not None and result.timed_out:
+        telemetry.count("blocks.degraded")
+    return BlockRecord(
+        index=index,
+        size=len(block),
+        statements=gb.statements,
+        initial_nops=initial.total_nops,
+        seed_nops=result.initial_nops,
+        final_nops=final_nops,
+        omega_calls=result.omega_calls,
+        completed=result.completed and not result.timed_out,
+        elapsed_seconds=elapsed,
+    )
 
 
 def run_population(
@@ -67,6 +143,8 @@ def run_population(
     machine: Optional[MachineDescription] = None,
     spec: PopulationSpec = PopulationSpec(),
     options: Optional[SearchOptions] = None,
+    telemetry: Optional[Telemetry] = None,
+    block_timeout: Optional[float] = None,
 ) -> List[BlockRecord]:
     """Schedule ``n_blocks`` synthetic blocks; one record per block.
 
@@ -79,28 +157,24 @@ def run_population(
     if options is None:
         options = SearchOptions(curtail=curtail)
     records: List[BlockRecord] = []
-    for index, gb in enumerate(sample_population(n_blocks, master_seed, spec)):
-        block = gb.block
-        if len(block) == 0:
-            continue
-        dag = DependenceDAG(block)
-        initial = compute_timing(dag, program_order(dag), machine)
-        start = time.perf_counter()
-        result = schedule_block(dag, machine, options)
-        elapsed = time.perf_counter() - start
+    blocks = sample_population(n_blocks, master_seed, spec)
+    generated = 0.0
+    for index in range(n_blocks):
+        t0 = time.perf_counter()
+        gb = next(blocks)
+        generated += time.perf_counter() - t0
         records.append(
-            BlockRecord(
-                index=index,
-                size=len(block),
-                statements=gb.statements,
-                initial_nops=initial.total_nops,
-                seed_nops=result.initial_nops,
-                final_nops=result.final_nops,
-                omega_calls=result.omega_calls,
-                completed=result.completed,
-                elapsed_seconds=elapsed,
+            schedule_generated_block(
+                index, gb, machine, options, telemetry, block_timeout
             )
         )
+    assert len(records) == n_blocks, (
+        f"population run produced {len(records)} records for "
+        f"{n_blocks} blocks"
+    )
+    if telemetry is not None:
+        telemetry.count("blocks.scheduled", len(records))
+        telemetry.add_time("phase.generate", generated)
     return records
 
 

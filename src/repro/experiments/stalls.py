@@ -20,7 +20,7 @@ to reordering.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..analysis.timeline import explain_schedule, stall_breakdown
 from ..ir.dag import DependenceDAG

@@ -41,7 +41,7 @@ from ..machine.machine import MachineDescription
 from ..machine.presets import paper_simulation_machine
 from ..sched.exhaustive import LEGAL_COUNT_CAP, exhaustive_search_size
 from ..sched.search import SearchOptions, schedule_block
-from ..synth.population import PopulationSpec, sample_population
+from ..synth.population import sample_population
 from .report import format_table, to_csv
 
 #: Block sizes of the paper's representative examples.

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from .report import comparison_note, format_table, to_csv
-from .runner import BlockRecord, DEFAULT_CURTAIL, mean, population_size, run_population
+from .runner import DEFAULT_CURTAIL, BlockRecord, mean, population_size, run_population
 
 #: The paper's Table 7, for side-by-side rendering.
 PAPER_ROWS = {

@@ -1,7 +1,6 @@
 """Mini front end: the paper's example source language (Figure 3),
 lexed, parsed, and lowered to tuple code."""
 
-from .lexer import LexError, Token, TokenKind, tokenize
 from .ast import (
     Assignment,
     Binary,
@@ -13,8 +12,9 @@ from .ast import (
     evaluate_expr,
     run_program,
 )
-from .parser import ParseError, parse_expression, parse_program
+from .lexer import LexError, Token, TokenKind, tokenize
 from .lowering import lower_program, lower_source
+from .parser import ParseError, parse_expression, parse_program
 
 __all__ = [
     "LexError",

@@ -26,16 +26,7 @@ from typing import Dict
 
 from ..ir.block import BasicBlock, BlockBuilder
 from ..ir.ops import Opcode
-from .ast import (
-    Assignment,
-    Barrier,
-    Binary,
-    Constant,
-    Expr,
-    Program,
-    Unary,
-    VarRead,
-)
+from .ast import Binary, Constant, Expr, Program, Unary, VarRead
 
 
 def lower_program(

@@ -1,7 +1,16 @@
 """Tuple intermediate form: instructions, blocks, dependence DAG,
 reference interpreter, and the paper's linear notation."""
 
-from .ops import Opcode, parse_opcode, BINARY_ARITHMETIC, VALUE_PRODUCING_OPCODES
+from .block import BasicBlock, BlockBuilder, BlockValidationError
+from .dag import COUNT_CAPPED, DependenceDAG, DependenceEdge
+from .interp import (
+    ExecutionResult,
+    UndefinedVariableError,
+    blocks_equivalent,
+    run_block,
+)
+from .ops import BINARY_ARITHMETIC, VALUE_PRODUCING_OPCODES, Opcode, parse_opcode
+from .textual import TupleSyntaxError, format_block, format_tuple, parse_block
 from .tuples import (
     ConstOperand,
     IRTuple,
@@ -18,15 +27,6 @@ from .tuples import (
     store,
     sub,
 )
-from .block import BasicBlock, BlockBuilder, BlockValidationError
-from .dag import COUNT_CAPPED, DependenceDAG, DependenceEdge
-from .interp import (
-    ExecutionResult,
-    UndefinedVariableError,
-    blocks_equivalent,
-    run_block,
-)
-from .textual import TupleSyntaxError, format_block, format_tuple, parse_block
 
 __all__ = [
     "Opcode",

@@ -14,7 +14,7 @@ targets must name variables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Sequence
 
 from .ops import Opcode
 from .tuples import IRTuple, RefOperand, VarOperand

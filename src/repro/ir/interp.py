@@ -17,7 +17,7 @@ commutations performed by the optimizer cannot be confused with rounding.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Mapping, Optional, Union
 

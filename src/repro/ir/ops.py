@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from fractions import Fraction
-from typing import Callable, Optional
+from typing import Callable
 
 
 class Opcode(enum.Enum):

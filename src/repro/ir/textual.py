@@ -18,7 +18,7 @@ both spellings.
 from __future__ import annotations
 
 import re
-from typing import Iterable, List, Optional
+from typing import List, Optional
 
 from .block import BasicBlock
 from .ops import Opcode, parse_opcode

@@ -1,20 +1,11 @@
 """Target machine model: pipelines and operation mappings."""
 
-from .pipeline import PipelineDesc
 from .machine import (
+    UNPIPELINED_LATENCY,
     MachineDescription,
     MachineValidationError,
-    UNPIPELINED_LATENCY,
 )
-from .serialize import (
-    MachineSyntaxError,
-    format_machine,
-    load_machine,
-    machine_from_dict,
-    machine_to_dict,
-    parse_machine,
-    save_machine,
-)
+from .pipeline import PipelineDesc
 from .presets import (
     PRESETS,
     asymmetric_units_machine,
@@ -24,6 +15,15 @@ from .presets import (
     paper_simulation_machine,
     scalar_machine,
     unpipelined_units_machine,
+)
+from .serialize import (
+    MachineSyntaxError,
+    format_machine,
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+    parse_machine,
+    save_machine,
 )
 
 __all__ = [

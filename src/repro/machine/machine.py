@@ -23,8 +23,8 @@ over the assignment instead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Mapping, Optional, Tuple
 
 from ..ir.ops import Opcode
 from .pipeline import PipelineDesc

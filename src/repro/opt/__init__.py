@@ -1,16 +1,16 @@
 """Traditional optimizations applied before scheduling (section 3.1):
 constant folding with value propagation, CSE, DCE, peephole."""
 
-from .fold import fold_constants
 from .cse import eliminate_common_subexpressions
 from .dce import eliminate_dead_code
-from .peephole import peephole_optimize
+from .fold import fold_constants
 from .manager import (
     OptimizationReport,
     default_passes,
     optimize,
     optimize_block,
 )
+from .peephole import peephole_optimize
 
 __all__ = [
     "fold_constants",

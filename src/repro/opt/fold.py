@@ -20,7 +20,7 @@ operands of a folded expression) are left for DCE.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from ..ir.block import BasicBlock, BlockBuilder
 from ..ir.ops import Opcode

@@ -14,7 +14,7 @@ safety net that raises rather than looping silently.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Sequence, Tuple
 
 from ..ir.block import BasicBlock

@@ -1,8 +1,8 @@
 """Register allocation: liveness, post-scheduling linear scan, and the
 pre-scheduling spill pass (sections 3.1 and 3.4)."""
 
-from .liveness import LiveRange, live_ranges, max_live, pressure_profile
 from .allocator import AllocationError, RegisterAllocation, allocate_registers
+from .liveness import LiveRange, live_ranges, max_live, pressure_profile
 from .spill import SPILL_PREFIX, SpillReport, insert_spill_code
 
 __all__ = [

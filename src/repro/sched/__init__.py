@@ -2,6 +2,26 @@
 baselines, the optimal branch-and-bound search, and the multi-pipeline
 and block-splitting extensions."""
 
+from .exhaustive import (
+    LEGAL_COUNT_CAP,
+    LegalSearchResult,
+    count_legal_schedules,
+    exhaustive_search_size,
+    legal_only_search,
+)
+from .heuristics import greedy_schedule, gross_schedule
+from .interblock import (
+    ScheduledSequence,
+    carry_out,
+    schedule_sequence,
+)
+from .list_scheduler import list_schedule, program_order
+from .multi import (
+    MultiScheduleResult,
+    first_pipeline_assignment,
+    round_robin_assignment,
+    schedule_block_multi,
+)
 from .nop_insertion import (
     IncrementalTimingState,
     InitialConditions,
@@ -12,36 +32,16 @@ from .nop_insertion import (
     sequential_etas,
     total_nops,
 )
-from .list_scheduler import list_schedule, program_order
-from .heuristics import greedy_schedule, gross_schedule
-from .exhaustive import (
-    LEGAL_COUNT_CAP,
-    LegalSearchResult,
-    count_legal_schedules,
-    exhaustive_search_size,
-    legal_only_search,
-)
 from .search import (
     DEFAULT_CURTAIL,
     SearchOptions,
     SearchResult,
     schedule_block,
 )
-from .multi import (
-    MultiScheduleResult,
-    first_pipeline_assignment,
-    round_robin_assignment,
-    schedule_block_multi,
-)
 from .splitting import (
     DEFAULT_WINDOW,
     SplitScheduleResult,
     schedule_block_split,
-)
-from .interblock import (
-    ScheduledSequence,
-    carry_out,
-    schedule_sequence,
 )
 
 __all__ = [

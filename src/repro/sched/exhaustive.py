@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
-from ..ir.dag import COUNT_CAPPED, DependenceDAG
+from ..ir.dag import DependenceDAG
 from ..machine.machine import MachineDescription
 from .nop_insertion import (
     IncrementalTimingState,

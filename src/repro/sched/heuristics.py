@@ -19,7 +19,7 @@ optimal; the benchmark harness measures how far from optimal they land.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..ir.dag import DependenceDAG
 from ..machine.machine import MachineDescription

@@ -26,8 +26,8 @@ neighbours.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ir.block import BasicBlock
 from ..ir.dag import DependenceDAG

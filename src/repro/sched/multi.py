@@ -23,13 +23,14 @@ from __future__ import annotations
 
 import sys
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..ir.dag import DependenceDAG
-from ..machine.machine import MachineDescription, UNPIPELINED_LATENCY
+from ..machine.machine import UNPIPELINED_LATENCY, MachineDescription
+from ..telemetry import Telemetry, prune_counts
 from .list_scheduler import list_schedule
-from .search import DEFAULT_CURTAIL, SearchOptions, _Curtailed
+from .search import SearchOptions, _Curtailed
 
 
 # ----------------------------------------------------------------------
@@ -78,6 +79,9 @@ class MultiScheduleResult:
     omega_calls: int
     completed: bool
     elapsed_seconds: float
+    timed_out: bool = False
+    #: Prune events by kind (see ``repro.telemetry.PRUNE_KINDS``).
+    prune_counts: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def issue_span_cycles(self) -> int:
@@ -160,6 +164,7 @@ def schedule_block_multi(
     extra_incumbents: Optional[
         Sequence[Tuple[Sequence[int], Dict[int, Optional[int]]]]
     ] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> MultiScheduleResult:
     """Optimal joint (order, pipeline assignment) search.
 
@@ -233,10 +238,18 @@ def schedule_block_multi(
         incumbents, key=lambda snap: snap[0]
     )
 
+    def _done(result: MultiScheduleResult) -> MultiScheduleResult:
+        if telemetry is not None:
+            telemetry.record_search(result)
+        return result
+
     if n <= 1:
-        return MultiScheduleResult(
-            best_order, best_etas, best_assignment, best_nops,
-            omega_calls, True, time.perf_counter() - start,
+        return _done(
+            MultiScheduleResult(
+                best_order, best_etas, best_assignment, best_nops,
+                omega_calls, True, time.perf_counter() - start,
+                prune_counts=prune_counts(),
+            )
         )
 
     seed_pos = {ident: pos for pos, ident in enumerate(seed)}
@@ -280,6 +293,9 @@ def schedule_block_multi(
     equivalence = options.equivalence_prune
     deadline = None if options.time_limit is None else start + options.time_limit
     completed = True
+    n_legality = n_bounds = n_equivalence = n_alpha_beta = 0
+    n_curtail = n_timeout = 0
+    timed_out = False
 
     def pipeline_choices(ident: int) -> List[Optional[int]]:
         """Viable pipelines, cheapest-first, symmetric idle twins collapsed."""
@@ -304,6 +320,7 @@ def schedule_block_multi(
         return out
 
     def candidates() -> List[int]:
+        nonlocal n_equivalence
         picked = sorted(ready, key=seed_pos.__getitem__)
         if equivalence and len(picked) > 1:
             filtered: List[int] = []
@@ -311,6 +328,7 @@ def schedule_block_multi(
             for ident in picked:
                 if trivial[ident]:
                     if seen_trivial:
+                        n_equivalence += 1
                         continue
                     seen_trivial = True
                 filtered.append(ident)
@@ -319,7 +337,10 @@ def schedule_block_multi(
 
     def rec(remaining: int) -> None:
         nonlocal best_nops, best_order, best_etas, best_assignment, omega_calls
+        nonlocal n_legality, n_bounds, n_alpha_beta, n_curtail, n_timeout
+        nonlocal timed_out
         cands = candidates()
+        n_legality += remaining - len(ready)
         if state.order and alpha_beta:
             # Admissible lower bound on NOPs any completion must add: the
             # cheapest-pipeline critical chain below each ready candidate
@@ -331,12 +352,16 @@ def schedule_block_multi(
                 if gap > lb:
                     lb = gap
             if state.total_nops + lb >= best_nops:
+                n_bounds += 1
                 return
         for ident in cands:
             for pid in pipeline_choices(ident):
                 if omega_calls >= curtail:
+                    n_curtail += 1
                     raise _Curtailed
                 if deadline is not None and time.perf_counter() > deadline:
+                    n_timeout += 1
+                    timed_out = True
                     raise _Curtailed
                 omega_calls += 1
                 state.push(ident, pid)
@@ -347,7 +372,9 @@ def schedule_block_multi(
                             best_order = tuple(state.order)
                             best_etas = tuple(state.etas)
                             best_assignment = dict(state.chosen)
-                    elif not alpha_beta or state.total_nops < best_nops:
+                    elif alpha_beta and state.total_nops >= best_nops:
+                        n_alpha_beta += 1
+                    else:
                         ready.remove(ident)
                         opened = []
                         for succ in successors[ident]:
@@ -375,12 +402,23 @@ def schedule_block_multi(
     finally:
         sys.setrecursionlimit(old_limit)
 
-    return MultiScheduleResult(
-        order=best_order,
-        etas=best_etas,
-        assignment=best_assignment,
-        total_nops=best_nops,
-        omega_calls=omega_calls,
-        completed=completed,
-        elapsed_seconds=time.perf_counter() - start,
+    return _done(
+        MultiScheduleResult(
+            order=best_order,
+            etas=best_etas,
+            assignment=best_assignment,
+            total_nops=best_nops,
+            omega_calls=omega_calls,
+            completed=completed,
+            elapsed_seconds=time.perf_counter() - start,
+            timed_out=timed_out,
+            prune_counts=prune_counts(
+                legality=n_legality,
+                bounds=n_bounds,
+                equivalence=n_equivalence,
+                alpha_beta=n_alpha_beta,
+                curtail=n_curtail,
+                timeout=n_timeout,
+            ),
+        )
     )

@@ -51,10 +51,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..ir.block import BasicBlock
 from ..ir.dag import DependenceDAG
-from ..ir.ops import Opcode
-from ..machine.machine import MachineDescription, UNPIPELINED_LATENCY
+from ..machine.machine import UNPIPELINED_LATENCY, MachineDescription
 
 #: Optional per-tuple pipeline assignment (for the multi-pipeline
 #: extension): maps tuple reference numbers to pipeline identifiers.

@@ -64,11 +64,12 @@ from __future__ import annotations
 
 import sys
 import time
-from dataclasses import dataclass, replace
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from ..ir.dag import DependenceDAG
 from ..machine.machine import MachineDescription
+from ..telemetry import Telemetry, prune_counts
 from .heuristics import greedy_schedule, gross_schedule
 from .list_scheduler import list_schedule, program_order
 from .nop_insertion import (
@@ -157,6 +158,9 @@ class SearchResult:
     elapsed_seconds: float
     improvements: int  # times the incumbent was replaced
     proved_by_bound: bool = False  # incumbent matched the root lower bound
+    timed_out: bool = False  # truncated by the wall-clock deadline
+    #: Prune events by kind (see ``repro.telemetry.PRUNE_KINDS``).
+    prune_counts: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def optimal(self) -> bool:
@@ -190,6 +194,7 @@ def schedule_block(
     assignment: Optional[PipelineAssignment] = None,
     seed: Optional[Sequence[int]] = None,
     initial_conditions: Optional[InitialConditions] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> SearchResult:
     """Find a minimum-NOP schedule of ``dag`` for ``machine``.
 
@@ -211,6 +216,9 @@ def schedule_block(
     initial_conditions:
         Carry-in pipeline/memory state from preceding blocks (footnote 1,
         see ``repro.sched.interblock``).  Defaults to an idle machine.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` registry; the
+        search's prune counters and wall time are folded into it.
 
     Returns
     -------
@@ -222,6 +230,12 @@ def schedule_block(
     """
     start = time.perf_counter()
     n = len(dag)
+
+    def _done(result: SearchResult) -> SearchResult:
+        if telemetry is not None:
+            telemetry.record_search(result)
+        return result
+
     resolver = SigmaResolver(dag, machine, assignment)
     initial = (
         initial_conditions if initial_conditions is not None else InitialConditions()
@@ -272,8 +286,16 @@ def schedule_block(
                 improvements += 1
 
     if n <= 1:
-        return SearchResult(
-            best, seed_timing, omega_calls, True, time.perf_counter() - start, 0
+        return _done(
+            SearchResult(
+                best,
+                seed_timing,
+                omega_calls,
+                True,
+                time.perf_counter() - start,
+                0,
+                prune_counts=prune_counts(),
+            )
         )
 
     # ------------------------------------------------------------------
@@ -311,14 +333,17 @@ def schedule_block(
         for pid, k in pipe_users.items():
             root_lb = max(root_lb, ((k - 1) * enqueue_of[pid] + 1) - n)
         if best.total_nops <= root_lb:
-            return SearchResult(
-                best,
-                seed_timing,
-                omega_calls,
-                True,
-                time.perf_counter() - start,
-                improvements,
-                proved_by_bound=True,
+            return _done(
+                SearchResult(
+                    best,
+                    seed_timing,
+                    omega_calls,
+                    True,
+                    time.perf_counter() - start,
+                    improvements,
+                    proved_by_bound=True,
+                    prune_counts=prune_counts(bounds=1),
+                )
             )
 
     # ------------------------------------------------------------------
@@ -382,6 +407,12 @@ def schedule_block(
     issue_of = state._issue
     pipe_last = state._pipe_last
 
+    # Prune-event counters (plain locals in the hot loop; flushed into
+    # the SearchResult / telemetry registry once, at the end).
+    n_legality = n_bounds = n_equivalence = n_alpha_beta = 0
+    n_dominance = n_curtail = n_timeout = 0
+    timed_out = False
+
     def interface_key(mask: int) -> tuple:
         """Timing-relevant state, relative to the last issue time.
 
@@ -421,10 +452,15 @@ def schedule_block(
 
     def rec(remaining: int, mask: int) -> None:
         nonlocal best_nops, best_timing, improvements, omega_calls, live_count
+        nonlocal n_legality, n_bounds, n_equivalence, n_alpha_beta
+        nonlocal n_dominance, n_curtail, n_timeout, timed_out
         if cheapest_first:
             cands = sorted(ready, key=lambda i: (peek(i), seed_pos[i]))
         else:
             cands = sorted(ready, key=seed_pos.__getitem__)
+        # Steps [5a]/[5b]: unscheduled instructions whose rho set is not
+        # yet contained in Phi are not candidates at this node.
+        n_legality += remaining - len(cands)
 
         if state._order:
             mu = state.total_nops
@@ -445,11 +481,13 @@ def schedule_block(
                         if gap > lb:
                             lb = gap
                 if mu + lb >= best_nops:
+                    n_bounds += 1
                     return
             if dominance:
                 key = interface_key(mask)
                 prev = memo.get(key)
                 if prev is not None and mu >= prev:
+                    n_dominance += 1
                     return
                 if len(memo) < max_memo:
                     memo[key] = mu
@@ -461,8 +499,10 @@ def schedule_block(
                 sig = trivial[i]
                 if sig is not None:
                     if sig in seen:
-                        continue  # provably interchangeable with an
-                        # earlier candidate at this node
+                        # Provably interchangeable with an earlier
+                        # candidate at this node.
+                        n_equivalence += 1
+                        continue
                     seen.add(sig)
                 filtered.append(i)
             cands = filtered
@@ -472,8 +512,11 @@ def schedule_block(
                 continue  # would not be allocatable: treat as illegal
             # Step [4]: curtail-point truncation.
             if omega_calls >= curtail:
+                n_curtail += 1
                 raise _Curtailed
             if deadline is not None and time.perf_counter() > deadline:
+                n_timeout += 1
+                timed_out = True
                 raise _Curtailed
             omega_calls += 1
             state.push(ident)
@@ -494,7 +537,11 @@ def schedule_block(
                         best_nops = state.total_nops
                         best_timing = state.snapshot()
                         improvements += 1
-                elif not alpha_beta or state.total_nops < best_nops:
+                elif alpha_beta and state.total_nops >= best_nops:
+                    # Step [6]: mu never decreases as a schedule grows,
+                    # so this prefix cannot beat the incumbent.
+                    n_alpha_beta += 1
+                else:
                     # Step [6]: extend only prefixes that can still win.
                     ready.remove(ident)
                     opened = []
@@ -533,11 +580,23 @@ def schedule_block(
     finally:
         sys.setrecursionlimit(old_limit)
 
-    return SearchResult(
-        best=best_timing,
-        initial=seed_timing,
-        omega_calls=omega_calls,
-        completed=completed,
-        elapsed_seconds=time.perf_counter() - start,
-        improvements=improvements,
+    return _done(
+        SearchResult(
+            best=best_timing,
+            initial=seed_timing,
+            omega_calls=omega_calls,
+            completed=completed,
+            elapsed_seconds=time.perf_counter() - start,
+            improvements=improvements,
+            timed_out=timed_out,
+            prune_counts=prune_counts(
+                legality=n_legality,
+                bounds=n_bounds,
+                equivalence=n_equivalence,
+                alpha_beta=n_alpha_beta,
+                curtail=n_curtail,
+                timeout=n_timeout,
+                dominance=n_dominance,
+            ),
+        )
     )

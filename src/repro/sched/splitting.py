@@ -22,11 +22,12 @@ from __future__ import annotations
 
 import sys
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..ir.dag import DependenceDAG
 from ..machine.machine import MachineDescription
+from ..telemetry import Telemetry, prune_counts
 from .list_scheduler import list_schedule
 from .nop_insertion import (
     IncrementalTimingState,
@@ -50,6 +51,8 @@ class SplitScheduleResult:
     omega_calls: int
     all_windows_completed: bool
     elapsed_seconds: float
+    #: Prune events summed over all windows (``repro.telemetry.PRUNE_KINDS``).
+    prune_counts: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def total_nops(self) -> int:
@@ -68,6 +71,7 @@ def schedule_block_split(
     assignment: Optional[PipelineAssignment] = None,
     seed: Optional[Sequence[int]] = None,
     initial_conditions: Optional[InitialConditions] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> SplitScheduleResult:
     """Schedule a block window-by-window, each window locally optimal.
 
@@ -93,26 +97,35 @@ def schedule_block_split(
     omega_calls = 0
     all_completed = True
     windows: List[Tuple[int, ...]] = []
+    totals = prune_counts()
 
     for w_start in range(0, len(seed), window):
         members = seed[w_start : w_start + window]
         windows.append(members)
-        best_order, window_calls, window_complete = _schedule_window(
-            dag, state, resolver, members, successors, curtail_per_window
+        best_order, window_calls, window_complete, window_counts = (
+            _schedule_window(
+                dag, state, resolver, members, successors, curtail_per_window
+            )
         )
         omega_calls += window_calls
         all_completed = all_completed and window_complete
+        for kind, count in window_counts.items():
+            totals[kind] += count
         # Commit the window's best order onto the shared state.
         for ident in best_order:
             state.push(ident)
 
-    return SplitScheduleResult(
+    result = SplitScheduleResult(
         timing=state.snapshot(),
         windows=tuple(windows),
         omega_calls=omega_calls,
         all_windows_completed=all_completed,
         elapsed_seconds=time.perf_counter() - start,
+        prune_counts=totals,
     )
+    if telemetry is not None:
+        telemetry.record_search(result)
+    return result
 
 
 def _schedule_window(
@@ -122,11 +135,11 @@ def _schedule_window(
     members: Tuple[int, ...],
     successors: Dict[int, Tuple[int, ...]],
     curtail: int,
-) -> Tuple[Tuple[int, ...], int, bool]:
+) -> Tuple[Tuple[int, ...], int, bool, Dict[str, int]]:
     """Branch-and-bound over orderings of ``members`` on top of ``state``.
 
-    Returns (best order, omega calls, completed flag).  ``state`` is left
-    exactly as it was on entry (all pushes undone).
+    Returns (best order, omega calls, completed flag, prune counts).
+    ``state`` is left exactly as it was on entry (all pushes undone).
     """
     member_set = set(members)
     n = len(members)
@@ -193,10 +206,13 @@ def _schedule_window(
             )
         )
     completed = True
+    n_legality = n_bounds = n_alpha_beta = n_curtail = 0
 
     def rec(remaining: int) -> None:
         nonlocal best_order, best_nops, omega_calls
+        nonlocal n_legality, n_bounds, n_alpha_beta, n_curtail
         cands = sorted(ready, key=lambda i: (state.peek_eta(i), seed_pos[i]))
+        n_legality += remaining - len(cands)
         if len(state.order) > base_len:
             window_nops = state.total_nops - base_nops
             lb = 0
@@ -205,9 +221,11 @@ def _schedule_window(
                 if gap > lb:
                     lb = gap
             if window_nops + lb >= best_nops:
+                n_bounds += 1
                 return
         for ident in cands:
             if omega_calls >= curtail:
+                n_curtail += 1
                 raise _Curtailed
             omega_calls += 1
             state.push(ident)
@@ -217,7 +235,9 @@ def _schedule_window(
                     if window_nops < best_nops:
                         best_nops = window_nops
                         best_order = state.order[-n:]
-                elif window_nops < best_nops:
+                elif window_nops >= best_nops:
+                    n_alpha_beta += 1
+                else:
                     ready.remove(ident)
                     opened = []
                     for succ in successors[ident]:
@@ -247,4 +267,9 @@ def _schedule_window(
     finally:
         sys.setrecursionlimit(old_limit)
 
-    return best_order, omega_calls, completed
+    return best_order, omega_calls, completed, prune_counts(
+        legality=n_legality,
+        bounds=n_bounds,
+        alpha_beta=n_alpha_beta,
+        curtail=n_curtail,
+    )

@@ -26,15 +26,13 @@ so value correctness can be asserted against the reference interpreter.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..ir.block import BasicBlock
 from ..ir.dag import DependenceDAG
 from ..ir.interp import Value, _step
-from ..ir.ops import Opcode
-from ..ir.tuples import IRTuple
-from ..machine.machine import MachineDescription, UNPIPELINED_LATENCY
+from ..machine.machine import MachineDescription
 from ..sched.nop_insertion import (
     InitialConditions,
     PipelineAssignment,

@@ -30,7 +30,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..codegen.asmparser import AsmInstruction, parse_assembly
 from ..ir.ops import Opcode
-from ..machine.machine import MachineDescription, UNPIPELINED_LATENCY
+from ..machine.machine import UNPIPELINED_LATENCY, MachineDescription
 from ..sched.nop_insertion import InitialConditions
 
 

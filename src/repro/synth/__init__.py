@@ -1,20 +1,27 @@
 """Synthetic benchmark generation (section 5.2 and the Table 6
 statement-frequency substitute)."""
 
-from .stats import (
-    DEFAULT_PROFILE,
-    GeneratorProfile,
-    OPERATOR_FREQUENCIES,
-    STATEMENT_FREQUENCIES,
-)
 from .generator import (
     GeneratedBlock,
     generate_block,
     generate_program,
     variable_names,
 )
-from .population import PopulationSpec, sample_population, size_histogram
 from .kernels import KERNELS, KERNELS_BY_NAME, Kernel, get_kernel
+from .population import (
+    BlockParams,
+    PopulationSpec,
+    generate_from_params,
+    sample_population,
+    sample_population_params,
+    size_histogram,
+)
+from .stats import (
+    DEFAULT_PROFILE,
+    OPERATOR_FREQUENCIES,
+    STATEMENT_FREQUENCIES,
+    GeneratorProfile,
+)
 
 __all__ = [
     "DEFAULT_PROFILE",
@@ -25,8 +32,11 @@ __all__ = [
     "generate_block",
     "generate_program",
     "variable_names",
+    "BlockParams",
     "PopulationSpec",
+    "generate_from_params",
     "sample_population",
+    "sample_population_params",
     "size_histogram",
     "KERNELS",
     "KERNELS_BY_NAME",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..frontend.ast import Assignment, Binary, Constant, Expr, Program, Unary, VarRead
 from ..frontend.lowering import lower_program

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Tuple
 
 from .generator import GeneratedBlock, generate_block
 from .stats import DEFAULT_PROFILE, GeneratorProfile
@@ -44,6 +44,64 @@ class PopulationSpec:
     profile: GeneratorProfile = DEFAULT_PROFILE
 
 
+@dataclass(frozen=True)
+class BlockParams:
+    """The generator inputs for one population member.
+
+    Sampling the master RNG stream and *generating* blocks are separable:
+    the stream draws are cheap (a few RNG calls per block) while
+    generation runs the full front end.  The parallel population engine
+    exploits this — the parent process samples the parameter stream once,
+    then workers rebuild their assigned blocks independently via
+    :func:`generate_from_params`, preserving bit-identical blocks without
+    replaying generation serially.
+    """
+
+    index: int
+    statements: int
+    variables: int
+    constants: int
+    seed: int
+
+
+def sample_population_params(
+    n_blocks: int,
+    master_seed: int = 1990,
+    spec: PopulationSpec = PopulationSpec(),
+) -> Iterator[BlockParams]:
+    """Yield the generator inputs for each of ``n_blocks`` members.
+
+    Consumes the master RNG stream exactly as :func:`sample_population`
+    does, so ``generate_from_params`` over these parameters reproduces
+    that population bit for bit.
+    """
+    rng = random.Random(master_seed)
+    for index in range(n_blocks):
+        statements = int(rng.gammavariate(spec.statement_shape, spec.statement_scale))
+        statements = max(spec.min_statements, min(spec.max_statements, statements))
+        variables = rng.randint(spec.min_variables, spec.max_variables)
+        constants = rng.randint(spec.min_constants, spec.max_constants)
+        seed = rng.getrandbits(32)
+        yield BlockParams(index, statements, variables, constants, seed)
+
+
+def generate_from_params(
+    params: BlockParams,
+    spec: PopulationSpec = PopulationSpec(),
+    optimize: bool = True,
+) -> GeneratedBlock:
+    """Rebuild one population member from its sampled parameters."""
+    return generate_block(
+        params.statements,
+        params.variables,
+        params.constants,
+        params.seed,
+        profile=spec.profile,
+        optimize=optimize,
+        name=f"pop-{params.index}",
+    )
+
+
 def sample_population(
     n_blocks: int,
     master_seed: int = 1990,
@@ -55,22 +113,8 @@ def sample_population(
     Blocks are generated lazily so populations of paper scale (16,000)
     never sit in memory at once.
     """
-    rng = random.Random(master_seed)
-    for index in range(n_blocks):
-        statements = int(rng.gammavariate(spec.statement_shape, spec.statement_scale))
-        statements = max(spec.min_statements, min(spec.max_statements, statements))
-        variables = rng.randint(spec.min_variables, spec.max_variables)
-        constants = rng.randint(spec.min_constants, spec.max_constants)
-        seed = rng.getrandbits(32)
-        yield generate_block(
-            statements,
-            variables,
-            constants,
-            seed,
-            profile=spec.profile,
-            optimize=optimize,
-            name=f"pop-{index}",
-        )
+    for params in sample_population_params(n_blocks, master_seed, spec):
+        yield generate_from_params(params, spec, optimize)
 
 
 def size_histogram(

@@ -6,6 +6,7 @@ import pytest
 
 from repro.ir.block import BasicBlock
 from repro.ir.dag import DependenceDAG
+from repro.ir.ops import Opcode
 from repro.ir.textual import parse_block
 from repro.machine.machine import MachineDescription
 from repro.machine.pipeline import PipelineDesc
@@ -14,7 +15,6 @@ from repro.machine.presets import (
     paper_simulation_machine,
     scalar_machine,
 )
-from repro.ir.ops import Opcode
 
 #: Figure 3's basic block, verbatim.
 FIGURE3_TEXT = """

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from hypothesis import strategies as st
 
-from repro.ir.block import BasicBlock, BlockBuilder
+from repro.ir.block import BlockBuilder
 from repro.ir.ops import Opcode
 from repro.machine.machine import MachineDescription
 from repro.machine.pipeline import PipelineDesc

@@ -1,6 +1,5 @@
 """Coverage for small public accessors not exercised elsewhere."""
 
-import pytest
 
 from repro.ir.dag import DependenceDAG
 from repro.ir.textual import parse_block

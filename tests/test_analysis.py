@@ -1,7 +1,6 @@
 """Tests for the schedule-analysis helpers (timeline, stall attribution,
 utilization)."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.analysis import (

@@ -102,8 +102,8 @@ class TestBuilder:
         b = BlockBuilder("built")
         c = b.emit_const(15)
         s = b.emit_store("b", c)
-        l = b.emit_load("a")
-        m = b.emit_binary(Opcode.MUL, c, l)
+        ld = b.emit_load("a")
+        m = b.emit_binary(Opcode.MUL, c, ld)
         b.emit_store("a", m)
         block = b.build()
         assert block.idents == (1, 2, 3, 4, 5)

@@ -1,6 +1,5 @@
 """Tests for the repro-experiments command-line interface."""
 
-import os
 
 import pytest
 

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 
 from repro.codegen.assembly import (
-    AssemblyProgram,
     DelayDiscipline,
     explicit_stream,
     generate_assembly,

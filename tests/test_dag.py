@@ -2,13 +2,12 @@
 
 import itertools
 
-import pytest
 from hypothesis import given, settings
 
 from repro.ir.block import BasicBlock
 from repro.ir.dag import COUNT_CAPPED, DependenceDAG
 from repro.ir.textual import parse_block
-from repro.ir.tuples import add, const, load, mul, store
+from repro.ir.tuples import add, const, load
 
 from .strategies import blocks
 

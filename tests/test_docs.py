@@ -9,7 +9,6 @@ import importlib
 import pathlib
 import re
 
-import pytest
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -66,7 +65,6 @@ class TestCliDocs:
 
 class TestReadme:
     def test_mentions_real_presets(self):
-        from repro.machine.presets import PRESETS
 
         text = read("README.md")
         assert "paper_simulation_machine" in text

@@ -3,7 +3,6 @@
 import itertools
 import math
 
-import pytest
 from hypothesis import given, settings
 
 from repro.ir.dag import DependenceDAG

@@ -17,13 +17,7 @@ from repro.experiments import (
     table1,
     table7,
 )
-from repro.experiments.runner import (
-    BlockRecord,
-    bucket_by_size,
-    mean,
-    population_size,
-    run_population,
-)
+from repro.experiments.runner import bucket_by_size, mean, population_size, run_population
 
 
 @pytest.fixture(scope="module")

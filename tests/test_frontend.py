@@ -4,16 +4,7 @@ from fractions import Fraction
 
 import pytest
 
-from repro.frontend.ast import (
-    Assignment,
-    Binary,
-    Constant,
-    Program,
-    Unary,
-    VarRead,
-    evaluate_expr,
-    run_program,
-)
+from repro.frontend.ast import Binary, Constant, Unary, evaluate_expr, run_program
 from repro.frontend.lexer import LexError, TokenKind, tokenize
 from repro.frontend.lowering import lower_program, lower_source
 from repro.frontend.parser import ParseError, parse_expression, parse_program

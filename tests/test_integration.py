@@ -14,7 +14,7 @@ from repro.ir.dag import DependenceDAG
 from repro.machine.presets import PRESETS, get_machine
 from repro.regalloc.allocator import allocate_registers
 from repro.sched.exhaustive import legal_only_search
-from repro.sched.search import SearchOptions, schedule_block
+from repro.sched.search import schedule_block
 from repro.simulator.core import PipelineSimulator
 from repro.synth.generator import generate_block, variable_names
 from repro.synth.stats import GeneratorProfile

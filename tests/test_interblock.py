@@ -6,17 +6,17 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ir.dag import DependenceDAG
+from repro.ir.ops import Opcode
 from repro.ir.textual import parse_block
 from repro.machine.machine import MachineDescription
 from repro.machine.pipeline import PipelineDesc
-from repro.ir.ops import Opcode
 from repro.sched.interblock import carry_out, schedule_sequence
 from repro.sched.nop_insertion import (
     InitialConditions,
     compute_timing,
     sequential_etas,
 )
-from repro.sched.search import SearchOptions, schedule_block
+from repro.sched.search import schedule_block
 from repro.simulator.core import PipelineSimulator
 
 from .strategies import blocks, machines

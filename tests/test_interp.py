@@ -13,7 +13,7 @@ from repro.ir.interp import (
     run_block,
 )
 from repro.ir.textual import parse_block
-from repro.ir.tuples import add, const, div, load, store
+from repro.ir.tuples import const, div, store
 
 from .strategies import blocks, memories
 

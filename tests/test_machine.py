@@ -4,9 +4,9 @@ import pytest
 
 from repro.ir.ops import Opcode
 from repro.machine.machine import (
+    UNPIPELINED_LATENCY,
     MachineDescription,
     MachineValidationError,
-    UNPIPELINED_LATENCY,
 )
 from repro.machine.pipeline import PipelineDesc
 from repro.machine.presets import PRESETS, get_machine, paper_example_machine

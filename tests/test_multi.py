@@ -4,14 +4,13 @@ import itertools
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.ir.dag import DependenceDAG
+from repro.ir.ops import Opcode
 from repro.ir.textual import parse_block
 from repro.machine.machine import MachineDescription
 from repro.machine.pipeline import PipelineDesc
-from repro.machine.presets import asymmetric_units_machine, paper_example_machine
-from repro.ir.ops import Opcode
+from repro.machine.presets import asymmetric_units_machine
 from repro.sched.multi import (
     first_pipeline_assignment,
     round_robin_assignment,

@@ -7,10 +7,10 @@ import pytest
 from hypothesis import given, settings
 
 from repro.ir.dag import DependenceDAG
+from repro.ir.ops import Opcode
 from repro.ir.textual import parse_block
 from repro.machine.machine import MachineDescription
 from repro.machine.pipeline import PipelineDesc
-from repro.ir.ops import Opcode
 from repro.sched.nop_insertion import (
     IncrementalTimingState,
     SigmaResolver,

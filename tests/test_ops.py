@@ -6,8 +6,8 @@ import pytest
 
 from repro.ir.ops import (
     BINARY_ARITHMETIC,
-    Opcode,
     VALUE_PRODUCING_OPCODES,
+    Opcode,
     parse_opcode,
 )
 

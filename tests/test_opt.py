@@ -4,10 +4,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.frontend.ast import run_program
 from repro.frontend.lowering import lower_source
+from repro.frontend.lowering import lower_program
 from repro.ir.interp import blocks_equivalent, run_block
 from repro.ir.ops import Opcode
-from repro.ir.textual import format_block, parse_block
+from repro.ir.textual import parse_block
 from repro.opt.cse import eliminate_common_subexpressions
 from repro.opt.dce import eliminate_dead_code
 from repro.opt.fold import fold_constants
@@ -15,8 +17,6 @@ from repro.opt.manager import optimize, optimize_block
 from repro.opt.peephole import peephole_optimize
 from repro.synth.generator import generate_program
 from repro.synth.stats import GeneratorProfile
-from repro.frontend.lowering import lower_program
-from repro.frontend.ast import run_program
 
 
 def ops_of(block, opcode):
@@ -211,7 +211,6 @@ class TestManager:
         def oscillating(block):
             # Alternates between two renumberings — never converges.
             from repro.ir.block import BasicBlock
-            from repro.ir.tuples import const, store
 
             if next(flip) % 2 == 0:
                 return parse_block("1: Const 7\n2: Store #x, 1")

@@ -6,7 +6,6 @@ module re-derives each one — partly as a sanity net for our constants,
 partly as executable documentation of what the paper actually says.
 """
 
-import math
 
 import pytest
 

@@ -13,7 +13,7 @@ from repro.postpass.registers import (
     register_reuse_edges,
 )
 from repro.regalloc.allocator import allocate_registers
-from repro.sched.search import SearchOptions, schedule_block
+from repro.sched.search import SearchOptions
 
 from .strategies import blocks
 

@@ -3,17 +3,13 @@ compile_program driver (footnote 1 made user-facing)."""
 
 import pytest
 
-from repro.driver import (
-    VerificationError,
-    compile_program,
-    compile_source,
-)
-from repro.frontend.ast import Barrier, run_program
+from repro.driver import compile_program, compile_source
+from repro.frontend.ast import run_program
 from repro.frontend.lowering import lower_program
 from repro.frontend.parser import ParseError, parse_program
+from repro.ir.ops import Opcode
 from repro.machine.machine import MachineDescription
 from repro.machine.pipeline import PipelineDesc
-from repro.ir.ops import Opcode
 
 
 class TestBarrierParsing:

@@ -8,7 +8,6 @@ from repro.frontend.ast import run_program
 from repro.frontend.lowering import lower_program, lower_source
 from repro.ir.dag import DependenceDAG
 from repro.ir.interp import run_block
-from repro.ir.ops import Opcode
 from repro.ir.textual import parse_block
 from repro.regalloc.allocator import AllocationError, allocate_registers
 from repro.regalloc.liveness import live_ranges, max_live, pressure_profile

@@ -12,9 +12,10 @@ from repro.codegen.asmparser import AsmSyntaxError, parse_assembly
 from repro.codegen.assembly import DelayDiscipline, generate_assembly
 from repro.driver import compile_source
 from repro.frontend.ast import run_program
+from repro.frontend.lowering import lower_program
 from repro.ir.dag import DependenceDAG
 from repro.ir.ops import Opcode
-from repro.machine.presets import get_machine, paper_simulation_machine
+from repro.machine.presets import get_machine
 from repro.regalloc.allocator import allocate_registers
 from repro.sched.search import schedule_block
 from repro.simulator.register_machine import (
@@ -24,7 +25,6 @@ from repro.simulator.register_machine import (
 from repro.synth.generator import generate_program, variable_names
 from repro.synth.kernels import KERNELS
 from repro.synth.stats import GeneratorProfile
-from repro.frontend.lowering import lower_program
 
 
 class TestParser:

@@ -2,7 +2,6 @@
 
 import csv
 import io
-import math
 
 from repro.experiments.report import (
     comparison_note,

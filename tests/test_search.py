@@ -7,12 +7,7 @@ from repro.ir.dag import DependenceDAG
 from repro.ir.textual import parse_block
 from repro.sched.exhaustive import legal_only_search
 from repro.sched.nop_insertion import compute_timing
-from repro.sched.search import (
-    DEFAULT_CURTAIL,
-    SearchOptions,
-    SearchResult,
-    schedule_block,
-)
+from repro.sched.search import DEFAULT_CURTAIL, SearchOptions, schedule_block
 
 from .strategies import blocks, machines
 

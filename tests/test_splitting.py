@@ -4,9 +4,8 @@ import pytest
 from hypothesis import given, settings
 
 from repro.ir.dag import DependenceDAG
-from repro.ir.textual import parse_block
 from repro.sched.nop_insertion import compute_timing
-from repro.sched.search import SearchOptions, schedule_block
+from repro.sched.search import schedule_block
 from repro.sched.splitting import schedule_block_split
 from repro.synth.generator import generate_block
 

@@ -4,20 +4,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.frontend.ast import Binary, Constant, Unary, VarRead, run_program
+from repro.frontend.ast import Binary, Constant, Unary, run_program
 from repro.ir.interp import run_block
-from repro.ir.ops import Opcode
 from repro.synth.generator import (
     generate_block,
     generate_program,
     variable_names,
 )
-from repro.synth.stats import (
-    DEFAULT_PROFILE,
-    GeneratorProfile,
-    OPERATOR_FREQUENCIES,
-    STATEMENT_FREQUENCIES,
-)
+from repro.synth.stats import OPERATOR_FREQUENCIES, STATEMENT_FREQUENCIES, GeneratorProfile
 
 
 class TestProfiles:

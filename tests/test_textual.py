@@ -3,13 +3,13 @@
 import pytest
 from hypothesis import given, settings
 
+from repro.ir.ops import Opcode
 from repro.ir.textual import (
     TupleSyntaxError,
     format_block,
     format_tuple,
     parse_block,
 )
-from repro.ir.ops import Opcode
 from repro.ir.tuples import ConstOperand, RefOperand
 
 from .strategies import blocks
