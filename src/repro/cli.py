@@ -60,6 +60,57 @@ def _resolve_machine(spec: str):
     return get_machine(spec)
 
 
+def _certify_block(block, machine, timing, assignment, conditions=None):
+    """Re-derive one compiled schedule through the independent checker.
+
+    Returns the :class:`repro.verify.certificate.CertificateReport`; the
+    checker shares no code with the schedulers, so its agreement is
+    evidence rather than tautology.
+    """
+    from .verify.certificate import check_schedule
+
+    pipe_free = variable_ready = None
+    if conditions is not None:
+        pipe_free = conditions.pipe_free
+        variable_ready = conditions.variable_ready
+    return check_schedule(
+        block,
+        machine,
+        timing.order,
+        timing.etas,
+        assignment=assignment,
+        pipe_free=pipe_free,
+        variable_ready=variable_ready,
+    )
+
+
+def _certify_program(compiled, machine) -> int:
+    """Certify every block of a barrier-partitioned compilation.
+
+    Carry-in conditions are re-threaded block to block exactly as the
+    compiler threads them (footnote 1), so each certificate judges the
+    schedule under the state it was actually scheduled for.  Returns a
+    process exit code (0 = all certified).
+    """
+    from .sched.interblock import carry_out
+
+    conditions = None
+    for i, result in enumerate(compiled.blocks):
+        cert = _certify_block(
+            result.block, machine, result.timing,
+            result.pipeline_assignment, conditions,
+        )
+        if not cert.ok:
+            print(
+                f"repro-compile: certificate REJECTED block {i}:\n"
+                f"{cert.summary()}",
+                file=sys.stderr,
+            )
+            return 1
+        conditions = carry_out(result.timing, result.dag, machine)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-compile",
@@ -107,7 +158,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--verify", type=_parse_memory, default=None, metavar="MEM",
-        help='simulate against source semantics from initial memory "a=3,b=0"',
+        help='simulate against source semantics from initial memory "a=3,b=0" '
+        "and re-derive the schedule through the independent certificate "
+        "checker (repro.verify)",
     )
     parser.add_argument(
         "--show",
@@ -183,13 +236,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.tuples:
             from .ir.textual import parse_block
 
-            if args.verify is not None:
-                print(
-                    "repro-compile: --verify requires source input "
-                    "(tuple code has no source semantics to check against)",
-                    file=sys.stderr,
-                )
-                return 2
+            # Tuple input has no source semantics to simulate against;
+            # --verify degrades to the certificate check alone (below).
             result = compile_block(
                 parse_block(source),
                 machine,
@@ -214,6 +262,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 telemetry=telemetry,
             )
             _write_stats()
+            if args.verify is not None:
+                code = _certify_program(compiled, machine)
+                if code:
+                    return code
             return _emit_program(compiled, show, args)
         else:
             result = compile_source(
@@ -231,6 +283,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"repro-compile: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 1
     _write_stats()
+
+    cert = None
+    if args.verify is not None:
+        cert = _certify_block(
+            result.block, machine, result.timing, result.pipeline_assignment
+        )
+        if not cert.ok:
+            print(
+                f"repro-compile: certificate REJECTED the schedule:\n"
+                f"{cert.summary()}",
+                file=sys.stderr,
+            )
+            return 1
 
     chunks: List[str] = []
     if "tuples" in show:
@@ -275,8 +340,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"; search: {result.search.omega_calls} omega calls, "
                 + ("provably optimal" if result.search.completed else "truncated")
             )
-        if args.verify is not None:
+        if args.verify is not None and not args.tuples:
             stats.append("; verification: simulated output matches source semantics")
+        if cert is not None:
+            stats.append(
+                f"; verification: certificate re-derived "
+                f"{cert.required_nops} NOPs independently"
+            )
         chunks.append("\n".join(stats))
 
     text = "\n\n".join(chunks) + "\n"

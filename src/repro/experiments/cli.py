@@ -107,6 +107,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "their list-schedule seed instead of stalling the run",
     )
     parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-derive every published schedule through the independent "
+        "certificate checker (repro.verify); any Ω-accounting mismatch "
+        "aborts the run",
+    )
+    parser.add_argument(
         "--stats-json",
         metavar="PATH",
         default=None,
@@ -144,10 +151,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     records = None
     if any(w in POPULATION_EXPERIMENTS for w in wanted):
         n_blocks = args.blocks if args.blocks is not None else population_size()
+        verified = ", verified" if args.verify else ""
         print(
             f"[population] scheduling {n_blocks:,} synthetic blocks "
             f"(lambda={args.curtail:,}, seed={args.seed}, "
-            f"workers={workers}) ...",
+            f"workers={workers}{verified}) ...",
             flush=True,
         )
         start = time.perf_counter()
@@ -159,6 +167,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 workers=workers,
                 block_timeout=args.block_timeout,
                 telemetry=telemetry,
+                verify=args.verify,
             )
         print(f"[population] done in {time.perf_counter() - start:.1f}s\n")
 
@@ -214,6 +223,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "master_seed": args.seed,
                 "workers": workers,
                 "block_timeout": args.block_timeout,
+                "verify": args.verify,
             },
         )
         print(f"[stats] telemetry written to {args.stats_json}")

@@ -75,6 +75,7 @@ def _run_chunk(
         PopulationSpec,
         SearchOptions,
         Optional[float],
+        bool,
     ],
 ) -> Tuple[List[BlockRecord], dict]:
     """Worker entry point: schedule one parameter chunk.
@@ -83,14 +84,15 @@ def _run_chunk(
     Returns the chunk's records plus the worker telemetry as a plain
     payload dict, which the parent merges.
     """
-    params_chunk, machine, spec, options, block_timeout = payload
+    params_chunk, machine, spec, options, block_timeout, verify = payload
     telemetry = Telemetry()
     records: List[BlockRecord] = []
     for params in params_chunk:
         gb = generate_from_params(params, spec)
         records.append(
             schedule_generated_block(
-                params.index, gb, machine, options, telemetry, block_timeout
+                params.index, gb, machine, options, telemetry, block_timeout,
+                verify,
             )
         )
     return records, telemetry.as_dict()
@@ -106,13 +108,17 @@ def run_population_parallel(
     workers: Optional[int] = None,
     block_timeout: Optional[float] = None,
     telemetry: Optional[Telemetry] = None,
+    verify: bool = False,
 ) -> List[BlockRecord]:
     """Schedule ``n_blocks`` synthetic blocks across a process pool.
 
     Drop-in parallel equivalent of :func:`run_population`: same
     parameters plus ``workers`` (default: ``REPRO_WORKERS`` or the CPU
     count) and the same record list, in block-index order.  Serial
-    fallback when ``workers=1`` or the pool cannot be used.
+    fallback when ``workers=1`` or the pool cannot be used.  With
+    ``verify=True`` each worker certifies every published schedule
+    through the independent checker; a certificate failure raises
+    :class:`repro.experiments.runner.VerificationError` in the parent.
     """
     if workers is None:
         workers = default_workers()
@@ -131,6 +137,7 @@ def run_population_parallel(
             options,
             telemetry,
             block_timeout,
+            verify,
         )
 
     if workers <= 1 or n_blocks <= 1:
@@ -142,7 +149,8 @@ def run_population_parallel(
     # along the stream, so contiguous spans would load-balance poorly.
     chunks = [params[i::n_chunks] for i in range(n_chunks)]
     payloads = [
-        (chunk, machine, spec, options, block_timeout) for chunk in chunks
+        (chunk, machine, spec, options, block_timeout, verify)
+        for chunk in chunks
     ]
 
     try:

@@ -66,11 +66,20 @@ class BlockRecord:
     final_nops: int  # mu of the search's best schedule
     omega_calls: int
     completed: bool  # condition [1]: provably optimal
-    elapsed_seconds: float = field(compare=False)
+    #: The search hit its wall-clock deadline and ``final_nops`` is the
+    #: deterministic list-schedule seed, not the search incumbent.
+    #: Degraded records are never ``completed`` — Table 7 and the verify
+    #: oracle must count them as truncated, never as optimal.
+    degraded: bool = False
+    elapsed_seconds: float = field(default=0.0, compare=False)
 
     @property
     def nops_removed(self) -> int:
         return self.initial_nops - self.final_nops
+
+
+class VerificationError(AssertionError):
+    """A population schedule failed its independent certificate check."""
 
 
 def schedule_generated_block(
@@ -80,6 +89,7 @@ def schedule_generated_block(
     options: SearchOptions,
     telemetry: Optional[Telemetry] = None,
     block_timeout: Optional[float] = None,
+    verify: bool = False,
 ) -> BlockRecord:
     """Schedule one population member and build its record.
 
@@ -89,7 +99,14 @@ def schedule_generated_block(
 
     ``block_timeout`` bounds the wall-clock spent searching this block;
     a block that exceeds it degrades to its list-schedule seed (recorded
-    with ``completed=False``) instead of stalling the whole run.
+    with ``degraded=True, completed=False``) instead of stalling the
+    whole run.
+
+    ``verify`` re-derives the recorded schedule's legality and NOP count
+    through :mod:`repro.verify.certificate` (an implementation that
+    shares no code with the schedulers) and raises
+    :class:`VerificationError` on any mismatch — an Ω-accounting bug in
+    the search can then never silently contaminate the experiment data.
     """
     block = gb.block
     if len(block) == 0:
@@ -104,6 +121,7 @@ def schedule_generated_block(
             final_nops=0,
             omega_calls=0,
             completed=True,
+            degraded=False,
             elapsed_seconds=0.0,
         )
     if block_timeout is not None:
@@ -120,9 +138,14 @@ def schedule_generated_block(
     elapsed = time.perf_counter() - start
     # Deadline-truncated searches degrade to the list-schedule seed: the
     # incumbent they stopped on depends on wall clock, the seed does not.
-    final_nops = result.initial_nops if result.timed_out else result.final_nops
-    if telemetry is not None and result.timed_out:
+    degraded = result.timed_out
+    final_nops = result.initial_nops if degraded else result.final_nops
+    if telemetry is not None and degraded:
         telemetry.count("blocks.degraded")
+    if verify:
+        _verify_record(
+            block, dag, machine, result, final_nops, degraded, telemetry
+        )
     return BlockRecord(
         index=index,
         size=len(block),
@@ -131,9 +154,43 @@ def schedule_generated_block(
         seed_nops=result.initial_nops,
         final_nops=final_nops,
         omega_calls=result.omega_calls,
-        completed=result.completed and not result.timed_out,
+        completed=result.completed and not degraded,
+        degraded=degraded,
         elapsed_seconds=elapsed,
     )
+
+
+def _verify_record(block, dag, machine, result, final_nops, degraded, telemetry):
+    """Certify the schedule a record is about to publish.
+
+    Degraded records publish the list-schedule seed (``result.initial``),
+    so that is the schedule certified — verifying the abandoned incumbent
+    would check a schedule nobody reports.
+    """
+    from ..sched.multi import first_pipeline_assignment
+    from ..verify.certificate import check_schedule
+
+    timing = result.initial if degraded else result.best
+    assignment = first_pipeline_assignment(dag, machine)
+    cert = check_schedule(
+        block, machine, timing.order, timing.etas, assignment=assignment
+    )
+    if telemetry is not None:
+        telemetry.count("verify.schedules_checked")
+    if not cert.ok:
+        if telemetry is not None:
+            telemetry.count("verify.certificate_failures")
+        raise VerificationError(
+            f"block {block.name!r} on {machine.name}: {cert.summary()}"
+        )
+    if cert.required_nops != final_nops:
+        if telemetry is not None:
+            telemetry.count("verify.certificate_failures")
+        raise VerificationError(
+            f"block {block.name!r} on {machine.name}: record publishes "
+            f"{final_nops} NOPs but the certificate re-derives "
+            f"{cert.required_nops}"
+        )
 
 
 def run_population(
@@ -145,12 +202,15 @@ def run_population(
     options: Optional[SearchOptions] = None,
     telemetry: Optional[Telemetry] = None,
     block_timeout: Optional[float] = None,
+    verify: bool = False,
 ) -> List[BlockRecord]:
     """Schedule ``n_blocks`` synthetic blocks; one record per block.
 
     ``initial_nops`` is the NOP count of the block *as emitted* (program
     order) — the quantity Figure 4 shows growing linearly with block size;
     ``seed_nops`` is the list schedule's count (the search's incumbent).
+    With ``verify=True`` every published schedule is certified through
+    the independent checker (see :func:`schedule_generated_block`).
     """
     if machine is None:
         machine = paper_simulation_machine()
@@ -165,7 +225,7 @@ def run_population(
         generated += time.perf_counter() - t0
         records.append(
             schedule_generated_block(
-                index, gb, machine, options, telemetry, block_timeout
+                index, gb, machine, options, telemetry, block_timeout, verify
             )
         )
     assert len(records) == n_blocks, (

@@ -33,6 +33,26 @@ Prune-event taxonomy (one counter per kind, ``prune.<kind>``):
     Nodes pruned by the dominance memo (an expanded twin prefix was at
     least as cheap).
 
+Verification taxonomy (``verify.<kind>``, filled in by the independent
+checker in ``repro.verify`` — the oracle, the fuzzer and the
+``verify=True`` population hook):
+
+``verify.blocks``
+    Block/machine pairs put through the differential oracle.
+``verify.schedules_checked``
+    Schedules re-derived through the certificate checker.
+``verify.certificate_failures``
+    Schedules the certificate rejected (illegal order, wrong pipeline,
+    under- or over-padded stream, or a NOP count that does not re-derive).
+``verify.invariant_failures``
+    Cross-scheduler invariants violated (e.g. search worse than its list
+    seed, exhaustive optimum below a "proven" optimum).
+``verify.sim_skipped``
+    Simulator cross-checks skipped because block *semantics* (not
+    timing) failed under the synthetic memory, e.g. division by zero.
+``verify.blocks_failed``
+    Block/machine pairs with at least one discrepancy.
+
 The registry is deliberately dumb: the searches accumulate plain local
 integers in their hot loops and flush them here once per block, so the
 per-node overhead of telemetry is a handful of integer adds whether or

@@ -1,0 +1,448 @@
+"""Schedule certificates — an independent re-implementation of the rules.
+
+Given only the raw tuple block and the machine description tables, this
+module decides whether a claimed schedule (an instruction order plus the
+NOP count before each instruction) is *legal* and whether its NOP counts
+are exactly the minimum the machine model requires.  It is deliberately
+a second implementation of sections 2.1 and 4.2.2, not a wrapper:
+
+* the dependence relation is re-derived here from the tuples (value
+  references plus the Load/Store variable rules) rather than taken from
+  ``repro.ir.dag``;
+* pipeline assignment (σ) is re-resolved here from the machine's
+  operation-to-pipeline table rather than through ``SigmaResolver``;
+* issue times, conflict delays and dependence delays are recomputed
+  positionally rather than through ``IncrementalTimingState``.
+
+Nothing in ``repro.sched`` is imported.  A bug shared by the Ω
+implementation and every scheduler built on it therefore cannot also
+hide here, which is what makes :class:`CertificateReport` evidence
+rather than agreement.
+
+Checked properties, in order:
+
+1. **permutation** — the order covers every tuple exactly once, with one
+   η per position, none negative;
+2. **assignment** — every instruction has a well-defined pipeline: its
+   claimed pipeline (if any) must be able to execute it, and an
+   operation with several viable pipelines must come with an explicit
+   choice;
+3. **dependence** — no instruction issues before a tuple it depends on;
+4. **under-padded** — a claimed η smaller than the machine model's
+   minimum delay (a schedule the hardware would corrupt);
+5. **over-padded** — a claimed η larger than that minimum (legal to
+   execute, but its NOP count is not an Ω value; rejected by default
+   because every scheduler in this repository claims minimal streams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ..ir.block import BasicBlock
+from ..ir.ops import Opcode
+from ..machine.machine import MachineDescription
+
+#: Result-availability delay of an operation that uses no pipeline
+#: (restated from the paper's step [2], not imported from the scheduler).
+_NO_PIPE_DELAY = 1
+
+
+# ----------------------------------------------------------------------
+# Independent dependence derivation
+# ----------------------------------------------------------------------
+def derive_dependences(block: BasicBlock) -> Dict[int, FrozenSet[int]]:
+    """Immediate predecessors of every tuple, derived from the raw block.
+
+    The rules of section 3.1, restated: a tuple depends on every tuple
+    whose *result* it references; a ``Load`` depends on the most recent
+    ``Store`` to its variable; a ``Store`` depends on the most recent
+    ``Store`` to its variable and on every ``Load`` of it since.
+    """
+    preds: Dict[int, set] = {t.ident: set() for t in block}
+    latest_store: Dict[str, int] = {}
+    readers: Dict[str, List[int]] = {}
+    for t in block:
+        mine = preds[t.ident]
+        mine.update(r for r in t.value_refs if r != t.ident)
+        var = t.variable
+        if var is None:
+            continue
+        if t.op is Opcode.LOAD:
+            if var in latest_store:
+                mine.add(latest_store[var])
+            readers.setdefault(var, []).append(t.ident)
+        elif t.op is Opcode.STORE:
+            if var in latest_store:
+                mine.add(latest_store[var])
+            mine.update(i for i in readers.get(var, ()) if i != t.ident)
+            latest_store[var] = t.ident
+            readers[var] = []
+    return {ident: frozenset(s) for ident, s in preds.items()}
+
+
+# ----------------------------------------------------------------------
+# Independent sigma resolution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Violation:
+    """One reason a claimed schedule fails certification."""
+
+    kind: str  # permutation | assignment | dependence | under-padded | over-padded
+    position: int  # index into the order; -1 for schedule-level failures
+    ident: int  # tuple reference number; -1 for schedule-level failures
+    detail: str
+
+    def __str__(self) -> str:
+        where = f" at position {self.position}" if self.position >= 0 else ""
+        return f"[{self.kind}]{where}: {self.detail}"
+
+
+def resolve_sigma(
+    block: BasicBlock,
+    machine: MachineDescription,
+    assignment: Optional[Mapping[int, Optional[int]]] = None,
+) -> Tuple[Dict[int, Optional[int]], List[Violation]]:
+    """Re-derive each tuple's pipeline from the machine tables.
+
+    Returns the σ mapping plus any assignment violations.  Tuples whose
+    σ could not be determined are mapped to ``None`` (and flagged), so
+    the timing pass can still run and report further problems.
+    """
+    sigma: Dict[int, Optional[int]] = {}
+    violations: List[Violation] = []
+    known = {p.ident for p in machine.pipelines}
+    for position, t in enumerate(block):
+        viable = machine.pipelines_for(t.op)
+        if assignment is not None and t.ident in assignment:
+            pid = assignment[t.ident]
+            if pid is None:
+                if viable:
+                    violations.append(
+                        Violation(
+                            "assignment", position, t.ident,
+                            f"tuple {t.ident} ({t.op.value}) assigned no "
+                            f"pipeline but requires one of {sorted(viable)}",
+                        )
+                    )
+                sigma[t.ident] = None
+            elif pid not in known:
+                violations.append(
+                    Violation(
+                        "assignment", position, t.ident,
+                        f"tuple {t.ident} assigned unknown pipeline {pid}",
+                    )
+                )
+                sigma[t.ident] = None
+            elif pid not in viable:
+                violations.append(
+                    Violation(
+                        "assignment", position, t.ident,
+                        f"pipeline {pid} cannot execute {t.op.value} "
+                        f"(viable: {sorted(viable) or '{}'})",
+                    )
+                )
+                sigma[t.ident] = None
+            else:
+                sigma[t.ident] = pid
+        elif not viable:
+            sigma[t.ident] = None
+        elif len(viable) == 1:
+            sigma[t.ident] = next(iter(viable))
+        else:
+            violations.append(
+                Violation(
+                    "assignment", position, t.ident,
+                    f"tuple {t.ident} ({t.op.value}) may run on pipelines "
+                    f"{sorted(viable)}; an explicit assignment is required",
+                )
+            )
+            sigma[t.ident] = None
+    return sigma, violations
+
+
+# ----------------------------------------------------------------------
+# The certificate check
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CertificateReport:
+    """Outcome of independently re-checking one claimed schedule."""
+
+    ok: bool
+    violations: Tuple[Violation, ...]
+    order: Tuple[int, ...]
+    claimed_etas: Tuple[int, ...]
+    #: η values this module recomputed (empty on structural failure).
+    required_etas: Tuple[int, ...]
+    claimed_nops: int
+    required_nops: int
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"certified: {len(self.order)} instructions, "
+                f"{self.required_nops} NOPs recomputed independently"
+            )
+        lines = [f"REJECTED ({len(self.violations)} violation(s)):"]
+        lines += [f"  {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+def check_schedule(
+    block: BasicBlock,
+    machine: MachineDescription,
+    order: Sequence[int],
+    etas: Sequence[int],
+    assignment: Optional[Mapping[int, Optional[int]]] = None,
+    pipe_free: Optional[Mapping[int, int]] = None,
+    variable_ready: Optional[Mapping[str, int]] = None,
+    require_minimal: bool = True,
+) -> CertificateReport:
+    """Certify a claimed ``(order, etas)`` schedule of ``block``.
+
+    ``pipe_free`` / ``variable_ready`` replicate the carry-in conditions
+    of paper footnote 1 (earliest cycle each pipeline accepts work /
+    each variable may be touched); both default to an idle machine.
+    ``require_minimal=False`` accepts over-padded but executable
+    schedules (streams with more NOPs than the model requires).
+    """
+    order = tuple(order)
+    etas = tuple(etas)
+    violations: List[Violation] = []
+
+    # 1. Structure: a permutation of the block with one eta each.
+    if sorted(order) != sorted(block.idents):
+        violations.append(
+            Violation(
+                "permutation", -1, -1,
+                f"order {order} is not a permutation of tuples "
+                f"{block.idents}",
+            )
+        )
+    if len(etas) != len(order):
+        violations.append(
+            Violation(
+                "permutation", -1, -1,
+                f"{len(order)} instructions but {len(etas)} eta values",
+            )
+        )
+    for position, eta in enumerate(etas):
+        if eta < 0:
+            violations.append(
+                Violation(
+                    "permutation", position,
+                    order[position] if position < len(order) else -1,
+                    f"negative NOP count {eta}",
+                )
+            )
+    if violations:
+        return CertificateReport(
+            False, tuple(violations), order, etas, (), sum(etas), -1
+        )
+
+    # 2. Pipeline assignment from the machine tables.
+    sigma, sigma_violations = resolve_sigma(block, machine, assignment)
+    violations += sigma_violations
+
+    preds = derive_dependences(block)
+    position_of = {ident: k for k, ident in enumerate(order)}
+
+    # 3. Dependence order.
+    for position, ident in enumerate(order):
+        for p in preds[ident]:
+            if position_of[p] > position:
+                violations.append(
+                    Violation(
+                        "dependence", position, ident,
+                        f"tuple {ident} issues before its predecessor {p}",
+                    )
+                )
+
+    if any(v.kind == "dependence" for v in violations):
+        return CertificateReport(
+            False, tuple(violations), order, etas, (), sum(etas), -1
+        )
+
+    # 4./5. Positional timing: walk the stream at the *claimed* issue
+    # times and recompute the minimum eta each position needs.
+    def latency_of(ident: int) -> int:
+        pid = sigma[ident]
+        return _NO_PIPE_DELAY if pid is None else machine.pipeline(pid).latency
+
+    pipe_free = dict(pipe_free or {})
+    variable_ready = dict(variable_ready or {})
+    issue: Dict[int, int] = {}
+    last_on_pipe: Dict[int, int] = {}
+    required: List[int] = []
+    clock = 0  # issue slot the next instruction would take with eta 0
+    for position, (ident, claimed) in enumerate(zip(order, etas)):
+        base = clock
+        earliest = base
+        pid = sigma[ident]
+        if pid is not None:
+            earliest = max(earliest, pipe_free.get(pid, 0))
+            if pid in last_on_pipe:
+                earliest = max(
+                    earliest,
+                    last_on_pipe[pid] + machine.pipeline(pid).enqueue_time,
+                )
+        var = block.by_ident(ident).variable
+        if var is not None:
+            earliest = max(earliest, variable_ready.get(var, 0))
+        for p in preds[ident]:
+            earliest = max(earliest, issue[p] + latency_of(p))
+        need = earliest - base
+        required.append(need)
+        if claimed < need:
+            violations.append(
+                Violation(
+                    "under-padded", position, ident,
+                    f"tuple {ident} needs {need} NOP(s) here but the "
+                    f"schedule claims {claimed}",
+                )
+            )
+        elif claimed > need and require_minimal:
+            violations.append(
+                Violation(
+                    "over-padded", position, ident,
+                    f"tuple {ident} needs only {need} NOP(s) here but the "
+                    f"schedule claims {claimed}; the stream is not an "
+                    "Omega-minimal padding",
+                )
+            )
+        # Commit the *claimed* issue slot: later constraints are judged
+        # against the stream as written, not as it should have been.
+        at = base + claimed
+        issue[ident] = at
+        if pid is not None:
+            last_on_pipe[pid] = at
+        clock = at + 1
+
+    ok = not violations
+    return CertificateReport(
+        ok=ok,
+        violations=tuple(violations),
+        order=order,
+        claimed_etas=etas,
+        required_etas=tuple(required),
+        claimed_nops=sum(etas),
+        required_nops=sum(required),
+    )
+
+
+# ----------------------------------------------------------------------
+# Independent brute-force optimum
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BruteForceResult:
+    """Ground-truth optimum from enumerating legal orders independently."""
+
+    best_nops: int
+    best_order: Tuple[int, ...]
+    best_etas: Tuple[int, ...]
+    orders_seen: int
+    exhausted: bool  # False when ``limit`` stopped the enumeration
+
+
+def brute_force_optimum(
+    block: BasicBlock,
+    machine: MachineDescription,
+    assignment: Optional[Mapping[int, Optional[int]]] = None,
+    limit: Optional[int] = None,
+) -> BruteForceResult:
+    """Minimum NOP count over every dependence-legal order of ``block``.
+
+    Shares no code with the schedulers: dependences, σ and timing all
+    come from this module.  ``limit`` caps the number of complete orders
+    examined (``exhausted=False`` when hit); intended for small blocks,
+    where the result is the definitive optimum the searches must match.
+    """
+    n = len(block)
+    if n == 0:
+        return BruteForceResult(0, (), (), 1, True)
+    sigma, sigma_violations = resolve_sigma(block, machine, assignment)
+    if sigma_violations:
+        raise ValueError(
+            "cannot enumerate schedules: " + "; ".join(map(str, sigma_violations))
+        )
+    preds = derive_dependences(block)
+    succs: Dict[int, List[int]] = {i: [] for i in block.idents}
+    for ident, ps in preds.items():
+        for p in ps:
+            succs[p].append(ident)
+    enqueue = {p.ident: p.enqueue_time for p in machine.pipelines}
+    latency = {
+        i: (_NO_PIPE_DELAY if sigma[i] is None else machine.pipeline(sigma[i]).latency)
+        for i in block.idents
+    }
+
+    indegree = {i: len(preds[i]) for i in block.idents}
+    ready = [i for i in block.idents if indegree[i] == 0]
+    order: List[int] = []
+    etas: List[int] = []
+    issue: Dict[int, int] = {}
+    last_on_pipe: Dict[int, int] = {}
+    best: Optional[Tuple[int, Tuple[int, ...], Tuple[int, ...]]] = None
+    seen = 0
+    exhausted = True
+
+    def rec(nops: int, clock: int) -> bool:
+        nonlocal best, seen, exhausted
+        if len(order) == n:
+            seen += 1
+            if best is None or nops < best[0]:
+                best = (nops, tuple(order), tuple(etas))
+            if limit is not None and seen >= limit:
+                exhausted = False
+                return False
+            return True
+        for ident in list(ready):
+            earliest = clock
+            pid = sigma[ident]
+            if pid is not None and pid in last_on_pipe:
+                earliest = max(earliest, last_on_pipe[pid] + enqueue[pid])
+            for p in preds[ident]:
+                earliest = max(earliest, issue[p] + latency[p])
+            eta = earliest - clock
+            order.append(ident)
+            etas.append(eta)
+            issue[ident] = earliest
+            saved_pipe = last_on_pipe.get(pid) if pid is not None else None
+            if pid is not None:
+                last_on_pipe[pid] = earliest
+            ready.remove(ident)
+            opened = []
+            for s in succs[ident]:
+                indegree[s] -= 1
+                if indegree[s] == 0:
+                    ready.append(s)
+                    opened.append(s)
+            keep_going = rec(nops + eta, earliest + 1)
+            for s in opened:
+                ready.remove(s)
+            for s in succs[ident]:
+                indegree[s] += 1
+            ready.append(ident)
+            if pid is not None:
+                if saved_pipe is None:
+                    del last_on_pipe[pid]
+                else:
+                    last_on_pipe[pid] = saved_pipe
+            del issue[ident]
+            etas.pop()
+            order.pop()
+            if not keep_going:
+                return False
+        return True
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, n * 10 + 1000))
+    try:
+        rec(0, 0)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    assert best is not None
+    return BruteForceResult(best[0], best[1], best[2], seen, exhausted)

@@ -6,7 +6,11 @@ Two sources of random inputs:
   anything the front end emits: Copy/Neg chains, repeated loads,
   overwritten stores), for exercising IR/DAG/scheduler corner cases;
 * :func:`machines` — arbitrary deterministic machine descriptions with
-  1-4 pipelines, latencies 1-8 and legal enqueue times.
+  1-4 pipelines, latencies 1-8 and legal enqueue times;
+* :func:`any_machines` — the above interleaved with the hand-built
+  adversarial gallery from :mod:`repro.verify.fuzz` (single-pipeline
+  funnels, fully-busy units, deep pipes, non-deterministic twins), for
+  the differential-oracle tests.
 
 Both shrink well: blocks shrink toward fewer tuples, machines toward a
 single latency-1 pipeline.
@@ -90,6 +94,23 @@ def machines(draw, max_pipelines: int = 4):
         if choice:
             op_map[op] = {choice}
     return MachineDescription("hypo-machine", pipes, op_map)
+
+
+def adversarial_machines():
+    """The hand-built boundary-case machine gallery, as a strategy."""
+    from repro.verify.fuzz import adversarial_machines as gallery
+
+    return st.sampled_from(gallery())
+
+
+def any_machines(max_pipelines: int = 4):
+    """Random machines mixed with the adversarial gallery.
+
+    The gallery pins the shapes random sampling rarely hits (every op on
+    one pipe, ``enqueue == latency`` everywhere, non-determinism), so the
+    oracle sees both breadth and the known hard edges every run.
+    """
+    return st.one_of(machines(max_pipelines=max_pipelines), adversarial_machines())
 
 
 @st.composite

@@ -151,10 +151,17 @@ class TestTuplesMode:
         assert rc == 0
         assert "Add" in capsys.readouterr().out
 
-    def test_tuples_reject_verify(self, capsys):
-        rc = main(["-e", "1: Load #a", "--tuples", "--verify", "a=1"])
-        assert rc == 2
-        assert "requires source input" in capsys.readouterr().err
+    def test_tuples_verify_runs_certificate_only(self, capsys):
+        # Tuple input has no source semantics to simulate; --verify
+        # degrades to the independent certificate check.
+        rc = main(
+            ["-e", "1: Load #a\n2: Neg 1\n3: Store #b, 2", "--tuples",
+             "--verify", "a=1", "--show", "stats"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "certificate re-derived" in out
+        assert "source semantics" not in out
 
     def test_bad_tuple_syntax_is_reported(self, capsys):
         rc = main(["-e", "1: Jump 2", "--tuples"])
