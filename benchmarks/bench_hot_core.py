@@ -1,0 +1,48 @@
+"""Benchmark H — the flattened hot core against the reference engine.
+
+The pytest-benchmark view of the ``repro-bench`` measurement: one
+population pass per engine (identical results enforced) plus the
+headline speedup, published to ``results/hot_core.txt`` so the perf
+trajectory is tracked next to the experiment tables.
+"""
+
+from repro.bench.hot_core import run_bench
+
+from conftest import bench_population_size, publish
+
+
+def test_hot_core_speedup(benchmark, results_dir):
+    payload, failures = run_bench(
+        blocks=bench_population_size(),
+        repeats=5,
+    )
+    assert failures == [], failures
+
+    pop = payload["suites"]["population"]
+    kern = payload["suites"]["kernels"]
+
+    def headline():
+        return (
+            f"population speedup {pop['speedup']}x "
+            f"({pop['blocks']} blocks, {pop['omega_calls']} omega calls)"
+        )
+
+    benchmark.pedantic(headline, rounds=1, iterations=1)
+    rendered = (
+        "H — flattened hot core vs reference engine\n"
+        f"population: {pop['blocks']} blocks, fast "
+        f"{pop['engines']['fast']['wall_seconds']:.2f}s vs reference "
+        f"{pop['engines']['reference']['wall_seconds']:.2f}s "
+        f"-> {pop['speedup']}x ({pop['engines']['fast']['omega_per_sec']:.0f} "
+        "omega calls/s)\n"
+        f"kernels: {len(kern['entries'])} kernel x machine pairs "
+        f"-> {kern['speedup']}x\n"
+        f"identical results: {payload['summary']['identical']}, "
+        f"certified: {pop['certified']}/{pop['blocks']}"
+    )
+    publish(results_dir, "hot_core", rendered)
+    benchmark.extra_info["speedup"] = pop["speedup"]
+    benchmark.extra_info["omega_per_sec"] = pop["engines"]["fast"][
+        "omega_per_sec"
+    ]
+    assert pop["identical"] and kern["speedup"] is not None

@@ -1,0 +1,115 @@
+"""``repro-bench`` — time the search engines and write ``BENCH_search.json``.
+
+Examples::
+
+    repro-bench                          # REPRO_SCALE-sized population + kernels
+    repro-bench --blocks 200 --no-kernels --out /tmp/bench.json
+    REPRO_SCALE=0.005 repro-bench       # CI smoke size (80 blocks)
+
+Exit status is non-zero when the engines diverge or a schedule fails
+certification; the speedup itself is reported, never asserted (see
+:mod:`repro.bench.hot_core`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from ..experiments.runner import DEFAULT_CURTAIL
+from .hot_core import run_bench
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Benchmark the fast search engine against the reference "
+            "(identical results enforced, schedules certified)."
+        ),
+    )
+    parser.add_argument(
+        "--blocks",
+        type=int,
+        default=None,
+        help=(
+            "synthetic blocks to schedule (default: the REPRO_SCALE-sized "
+            "population, 2000 at the default scale 0.125)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1990, help="population master seed"
+    )
+    parser.add_argument(
+        "--curtail",
+        type=int,
+        default=DEFAULT_CURTAIL,
+        help="curtail point lambda for both engines",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=25,
+        help="timing repeats per kernel x machine pair",
+    )
+    parser.add_argument(
+        "--no-kernels",
+        action="store_true",
+        help="skip the kernel suite (population only)",
+    )
+    parser.add_argument(
+        "--no-certify",
+        action="store_true",
+        help="skip per-schedule certificate checks (timing only)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_search.json",
+        help="output path (default: ./BENCH_search.json)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    payload, failures = run_bench(
+        blocks=args.blocks,
+        master_seed=args.seed,
+        curtail=args.curtail,
+        repeats=args.repeats,
+        kernels=not args.no_kernels,
+        certify=not args.no_certify,
+    )
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    pop = payload["suites"]["population"]
+    print(
+        f"population: {pop['blocks']} blocks, {pop['omega_calls']} omega "
+        f"calls — fast {pop['engines']['fast']['wall_seconds']:.2f}s, "
+        f"reference {pop['engines']['reference']['wall_seconds']:.2f}s, "
+        f"speedup {pop['speedup']}x, certified {pop['certified']}"
+    )
+    kern = payload["suites"].get("kernels")
+    if kern is not None:
+        print(
+            f"kernels: {len(kern['entries'])} kernel x machine pairs, "
+            f"speedup {kern['speedup']}x"
+        )
+    print(f"wrote {args.out}")
+    if failures:
+        for line in failures[:20]:
+            print(f"FAIL: {line}", file=sys.stderr)
+        print(
+            f"{len(failures)} divergence/certification failure(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,332 @@
+"""Fast-vs-reference engine benchmark (the ``BENCH_search.json`` writer).
+
+Measurement method
+------------------
+Per block the two engines run back to back (fast, then reference) and
+each call is timed individually; per-engine wall time is the sum of its
+own calls.  Interleaving makes the comparison robust against machine
+load drifting over the run — a bias that back-to-back *batches* are
+fully exposed to.  Every pair of results is compared field by field
+(schedule, Ω calls, prune counts, completion flags — everything except
+wall time), and every fast-engine schedule is certified through
+:mod:`repro.verify.certificate`, which shares no code with the
+schedulers.  A benchmark whose engines diverge is not a benchmark, so
+divergence and certification failures are fatal (non-zero exit from the
+CLI) while speedup itself is only reported, never asserted — perf
+assertions belong to the acceptance pipeline, not to a load-sensitive
+smoke job.
+
+Suites
+------
+``population``
+    The synthetic corpus (``REPRO_SCALE``-sized, same master seed and
+    curtail as the experiments), scheduled once per engine.  This is the
+    headline number: single-threaded speedup over the exact workload the
+    paper's Table 7 is derived from.
+``kernels``
+    The realistic kernels x deterministic machine presets, repeated
+    (blocks are tiny, so one run is below timer resolution).  Shows the
+    speedup holds on real dependence structure, not just synthetic
+    statistics.
+
+Schema (``repro-bench/1``)::
+
+    {
+      "schema": "repro-bench/1",
+      "config": {"blocks": 2000, "master_seed": 1990, "curtail": 50000,
+                 "repeats": 25, "python": "3.11.7"},
+      "suites": {
+        "population": {
+          "blocks": 1964,                    # non-empty blocks scheduled
+          "omega_calls": 1449520,            # identical across engines
+          "engines": {
+            "fast":      {"wall_seconds": 6.0, "omega_per_sec": 240000.0},
+            "reference": {"wall_seconds": 14.0, "omega_per_sec": 103000.0}
+          },
+          "speedup": 2.33,                   # reference / fast wall time
+          "identical": true,                 # every result field matched
+          "certified": 1964                  # schedules certificate-checked
+        },
+        "kernels": {
+          "entries": [
+            {"kernel": "dot4", "machine": "paper_simulation",
+             "omega_calls": 123, "fast_seconds": ..., "reference_seconds":
+             ..., "speedup": ..., "identical": true},
+            ...
+          ],
+          "speedup": ...                     # total ref / total fast
+        }
+      },
+      "summary": {"speedup": 2.33, "identical": true, "failures": []}
+    }
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.dag import DependenceDAG
+from ..machine.machine import MachineDescription
+from ..machine.presets import (
+    deep_memory_machine,
+    paper_simulation_machine,
+    scalar_machine,
+)
+from ..sched.multi import first_pipeline_assignment
+from ..sched.nop_insertion import PipelineAssignment
+from ..sched.search import SearchOptions, SearchResult, schedule_block
+from ..experiments.runner import DEFAULT_CURTAIL, population_size
+from ..synth.kernels import KERNELS
+from ..synth.population import PopulationSpec, sample_population
+
+#: Version tag of the ``BENCH_search.json`` payload.
+SCHEMA = "repro-bench/1"
+
+#: Deterministic presets the kernel suite runs on (name -> factory).
+KERNEL_MACHINES = (
+    ("paper_simulation", paper_simulation_machine),
+    ("deep_memory", deep_memory_machine),
+    ("scalar", scalar_machine),
+)
+
+
+def _result_fields(r: SearchResult) -> tuple:
+    """Everything two engines must agree on (all but wall time)."""
+    return (
+        r.best,
+        r.initial,
+        r.omega_calls,
+        r.completed,
+        r.improvements,
+        r.proved_by_bound,
+        r.timed_out,
+        r.memo_evicted,
+        dict(r.prune_counts),
+    )
+
+
+def _assignment_for(
+    dag: DependenceDAG, machine: MachineDescription
+) -> Optional[PipelineAssignment]:
+    """Pin pipelines iff the machine is non-deterministic for this block."""
+    if any(
+        len(machine.pipelines_for(t.op)) > 1 for t in dag.block
+    ):
+        return first_pipeline_assignment(dag, machine)
+    return None
+
+
+def _certify(
+    dag: DependenceDAG,
+    machine: MachineDescription,
+    result: SearchResult,
+    assignment: Optional[PipelineAssignment],
+) -> Optional[str]:
+    """Certificate-check one schedule; returns a failure summary or None."""
+    from ..verify.certificate import check_schedule
+
+    if assignment is None:
+        assignment = first_pipeline_assignment(dag, machine)
+    cert = check_schedule(
+        dag.block,
+        machine,
+        result.best.order,
+        result.best.etas,
+        assignment=assignment,
+    )
+    if not cert.ok:
+        return cert.summary()
+    if cert.required_nops != result.final_nops:
+        return (
+            f"certificate re-derives {cert.required_nops} NOPs, "
+            f"search reports {result.final_nops}"
+        )
+    return None
+
+
+def bench_population(
+    n_blocks: int,
+    master_seed: int,
+    curtail: int,
+    certify: bool = True,
+    failures: Optional[List[str]] = None,
+) -> Dict:
+    """Both engines over the synthetic corpus, interleaved per block."""
+    machine = paper_simulation_machine()
+    opts_fast = SearchOptions(curtail=curtail, engine="fast")
+    opts_ref = SearchOptions(curtail=curtail, engine="reference")
+    perf = time.perf_counter
+    fast_seconds = ref_seconds = 0.0
+    omega = scheduled = certified = 0
+    identical = True
+    if failures is None:
+        failures = []
+    for index, gb in zip(
+        range(n_blocks), sample_population(n_blocks, master_seed, PopulationSpec())
+    ):
+        if len(gb.block) == 0:
+            continue
+        dag = DependenceDAG(gb.block)
+        t0 = perf()
+        fast = schedule_block(dag, machine, opts_fast)
+        t1 = perf()
+        ref = schedule_block(dag, machine, opts_ref)
+        t2 = perf()
+        fast_seconds += t1 - t0
+        ref_seconds += t2 - t1
+        omega += fast.omega_calls
+        scheduled += 1
+        if _result_fields(fast) != _result_fields(ref):
+            identical = False
+            failures.append(
+                f"population block {index}: fast != reference "
+                f"(nops {fast.final_nops} vs {ref.final_nops}, "
+                f"omega {fast.omega_calls} vs {ref.omega_calls})"
+            )
+        if certify:
+            problem = _certify(dag, machine, fast, None)
+            if problem is None:
+                certified += 1
+            else:
+                failures.append(f"population block {index}: {problem}")
+    return {
+        "blocks": scheduled,
+        "omega_calls": omega,
+        "engines": {
+            "fast": {
+                "wall_seconds": round(fast_seconds, 4),
+                "omega_per_sec": round(omega / fast_seconds, 1)
+                if fast_seconds
+                else None,
+            },
+            "reference": {
+                "wall_seconds": round(ref_seconds, 4),
+                "omega_per_sec": round(omega / ref_seconds, 1)
+                if ref_seconds
+                else None,
+            },
+        },
+        "speedup": round(ref_seconds / fast_seconds, 3) if fast_seconds else None,
+        "identical": identical,
+        "certified": certified,
+    }
+
+
+def _kernel_dag(source: str) -> DependenceDAG:
+    from ..frontend.lowering import lower_program
+    from ..frontend.parser import parse_program
+    from ..opt.manager import optimize_block
+
+    block = optimize_block(lower_program(parse_program(source), "bench"))
+    return DependenceDAG(block)
+
+
+def bench_kernels(
+    curtail: int,
+    repeats: int,
+    failures: Optional[List[str]] = None,
+) -> Dict:
+    """Both engines over kernels x machine presets, repeated and interleaved."""
+    opts_fast = SearchOptions(curtail=curtail, engine="fast")
+    opts_ref = SearchOptions(curtail=curtail, engine="reference")
+    perf = time.perf_counter
+    entries = []
+    total_fast = total_ref = 0.0
+    if failures is None:
+        failures = []
+    for kernel in KERNELS:
+        dag = _kernel_dag(kernel.source)
+        for machine_name, factory in KERNEL_MACHINES:
+            machine = factory()
+            assignment = _assignment_for(dag, machine)
+            fast_seconds = ref_seconds = 0.0
+            fast = ref = None
+            for _ in range(repeats):
+                t0 = perf()
+                fast = schedule_block(
+                    dag, machine, opts_fast, assignment=assignment
+                )
+                t1 = perf()
+                ref = schedule_block(
+                    dag, machine, opts_ref, assignment=assignment
+                )
+                t2 = perf()
+                fast_seconds += t1 - t0
+                ref_seconds += t2 - t1
+            identical = _result_fields(fast) == _result_fields(ref)
+            if not identical:
+                failures.append(
+                    f"kernel {kernel.name} on {machine_name}: "
+                    "fast != reference"
+                )
+            problem = _certify(dag, machine, fast, assignment)
+            if problem is not None:
+                failures.append(
+                    f"kernel {kernel.name} on {machine_name}: {problem}"
+                )
+            total_fast += fast_seconds
+            total_ref += ref_seconds
+            entries.append(
+                {
+                    "kernel": kernel.name,
+                    "machine": machine_name,
+                    "instructions": len(dag),
+                    "omega_calls": fast.omega_calls,
+                    "fast_seconds": round(fast_seconds, 5),
+                    "reference_seconds": round(ref_seconds, 5),
+                    "speedup": round(ref_seconds / fast_seconds, 3)
+                    if fast_seconds
+                    else None,
+                    "identical": identical,
+                }
+            )
+    return {
+        "entries": entries,
+        "speedup": round(total_ref / total_fast, 3) if total_fast else None,
+    }
+
+
+def run_bench(
+    blocks: Optional[int] = None,
+    master_seed: int = 1990,
+    curtail: int = DEFAULT_CURTAIL,
+    repeats: int = 25,
+    kernels: bool = True,
+    certify: bool = True,
+) -> Tuple[Dict, List[str]]:
+    """Run every suite; returns ``(payload, failures)``.
+
+    ``failures`` lists engine divergences and certificate rejections —
+    empty means the fast engine is (still) bit-for-bit the reference.
+    ``blocks`` defaults to the ``REPRO_SCALE``-sized population (the
+    same corpus the experiments schedule).
+    """
+    if blocks is None:
+        blocks = population_size()
+    failures: List[str] = []
+    suites: Dict[str, Dict] = {
+        "population": bench_population(
+            blocks, master_seed, curtail, certify=certify, failures=failures
+        )
+    }
+    if kernels:
+        suites["kernels"] = bench_kernels(curtail, repeats, failures=failures)
+    payload = {
+        "schema": SCHEMA,
+        "config": {
+            "blocks": blocks,
+            "master_seed": master_seed,
+            "curtail": curtail,
+            "repeats": repeats if kernels else None,
+            "python": platform.python_version(),
+        },
+        "suites": suites,
+        "summary": {
+            "speedup": suites["population"]["speedup"],
+            "identical": not failures,
+            "failures": failures,
+        },
+    }
+    return payload, failures

@@ -149,6 +149,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="search curtail point (omega-call budget)",
     )
     parser.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default="fast",
+        help="search engine: the flattened array core (fast) or the "
+        "recursive reference — bit-for-bit identical results",
+    )
+    parser.add_argument(
         "--no-optimize", action="store_true", help="skip the classical optimizer"
     )
     parser.add_argument(
@@ -242,7 +249,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 parse_block(source),
                 machine,
                 scheduler=args.scheduler,
-                options=SearchOptions(curtail=args.curtail),
+                options=SearchOptions(curtail=args.curtail, engine=args.engine),
                 # Hand-written tuples are the intended code: never optimized.
                 optimize=False,
                 num_registers=args.registers,
@@ -254,7 +261,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 source,
                 machine,
                 scheduler=args.scheduler,
-                options=SearchOptions(curtail=args.curtail),
+                options=SearchOptions(curtail=args.curtail, engine=args.engine),
                 optimize=not args.no_optimize,
                 num_registers=args.registers,
                 discipline=_DISCIPLINES[args.discipline],
@@ -272,7 +279,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 source,
                 machine,
                 scheduler=args.scheduler,
-                options=SearchOptions(curtail=args.curtail),
+                options=SearchOptions(curtail=args.curtail, engine=args.engine),
                 optimize=not args.no_optimize,
                 num_registers=args.registers,
                 discipline=_DISCIPLINES[args.discipline],

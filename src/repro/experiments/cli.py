@@ -21,6 +21,7 @@ import sys
 import time
 from typing import List, Optional
 
+from ..sched.search import SearchOptions
 from ..telemetry import Telemetry
 from . import (
     ablation,
@@ -87,6 +88,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help=f"search curtail point lambda (default {DEFAULT_CURTAIL:,})",
     )
     parser.add_argument("--seed", type=int, default=1990, help="master seed")
+    parser.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default="fast",
+        help="search engine for the population run: the flattened array "
+        "core (fast) or the recursive reference — bit-for-bit identical "
+        "results",
+    )
     parser.add_argument(
         "--csv", metavar="DIR", default=None, help="also write CSVs to DIR"
     )
@@ -164,6 +173,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 n_blocks,
                 args.curtail,
                 args.seed,
+                options=SearchOptions(curtail=args.curtail, engine=args.engine),
                 workers=workers,
                 block_timeout=args.block_timeout,
                 telemetry=telemetry,
@@ -220,6 +230,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "experiments": wanted,
                 "blocks": len(records) if records is not None else 0,
                 "curtail": args.curtail,
+                "engine": args.engine,
                 "master_seed": args.seed,
                 "workers": workers,
                 "block_timeout": args.block_timeout,

@@ -17,6 +17,12 @@ that story:
   (choosing either of two idle identical adders yields isomorphic
   subtrees), which keeps the branching factor near the deterministic
   case's in practice.
+
+Note on the engine switch: :func:`schedule_block_multi` runs its own
+joint order-and-assignment search and never calls ``schedule_block``,
+so ``SearchOptions.engine`` does not apply here.  The flattened array
+core (:mod:`repro.sched.core`) accelerates the fixed-assignment search
+only; multi-pipeline selection always uses this recursive search.
 """
 
 from __future__ import annotations

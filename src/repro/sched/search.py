@@ -117,12 +117,26 @@ class SearchOptions:
     #: (default) assumes "always enough registers", as the paper's
     #: simulations do.
     max_live: Optional[int] = None
+    #: Which DFS implementation runs the search: ``"fast"`` (the flattened
+    #: array engine in ``repro.sched.core`` — bitmask ready sets, explicit
+    #: stack, in-place do/undo) or ``"reference"`` (the readable recursive
+    #: formulation below).  Both are bit-for-bit identical in every
+    #: ``SearchResult`` field except ``elapsed_seconds``; the reference is
+    #: kept for ablation and differential testing.
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
         if self.curtail < 1:
             raise ValueError("curtail point must be positive")
         if self.time_limit is not None and self.time_limit <= 0:
             raise ValueError("time limit must be positive")
+        if self.engine not in ("fast", "reference"):
+            raise ValueError(
+                f"unknown search engine {self.engine!r} "
+                "(expected 'fast' or 'reference')"
+            )
+        if self.max_memo_entries < 0:
+            raise ValueError("max_memo_entries must be non-negative")
         if self.max_live is not None and self.max_live < 3:
             raise ValueError(
                 "max_live must be at least 3 (a binary operation keeps "
@@ -159,6 +173,8 @@ class SearchResult:
     improvements: int  # times the incumbent was replaced
     proved_by_bound: bool = False  # incumbent matched the root lower bound
     timed_out: bool = False  # truncated by the wall-clock deadline
+    #: Dominance-memo entries evicted (FIFO) to honor ``max_memo_entries``.
+    memo_evicted: int = 0
     #: Prune events by kind (see ``repro.telemetry.PRUNE_KINDS``).
     prune_counts: Mapping[str, int] = field(default_factory=dict)
 
@@ -195,6 +211,7 @@ def schedule_block(
     seed: Optional[Sequence[int]] = None,
     initial_conditions: Optional[InitialConditions] = None,
     telemetry: Optional[Telemetry] = None,
+    engine: Optional[str] = None,
 ) -> SearchResult:
     """Find a minimum-NOP schedule of ``dag`` for ``machine``.
 
@@ -219,6 +236,10 @@ def schedule_block(
     telemetry:
         Optional :class:`repro.telemetry.Telemetry` registry; the
         search's prune counters and wall time are folded into it.
+    engine:
+        ``"fast"`` or ``"reference"``; overrides ``options.engine``.
+        Both engines return bit-for-bit identical results (everything
+        except ``elapsed_seconds``); see :mod:`repro.sched.core`.
 
     Returns
     -------
@@ -230,6 +251,12 @@ def schedule_block(
     """
     start = time.perf_counter()
     n = len(dag)
+    engine_name = options.engine if engine is None else engine
+    if engine_name not in ("fast", "reference"):
+        raise ValueError(
+            f"unknown search engine {engine_name!r} "
+            "(expected 'fast' or 'reference')"
+        )
 
     def _done(result: SearchResult) -> SearchResult:
         if telemetry is not None:
@@ -267,6 +294,23 @@ def schedule_block(
         raise ValueError(
             f"seed schedule needs more than max_live={budget} registers; "
             "run the spill pre-pass (repro.regalloc.insert_spill_code) first"
+        )
+
+    # ------------------------------------------------------------------
+    # Engine dispatch: from here on the flattened array engine and the
+    # recursive reference below run the *same* search — identical seed
+    # pricing, incumbents, candidate order, prune decisions, Ω accounting
+    # and memo policy — so every field of the result except
+    # elapsed_seconds is bit-for-bit equal.
+    # ------------------------------------------------------------------
+    if engine_name == "fast":
+        from .core import run_fast_search
+
+        return _done(
+            run_fast_search(
+                dag, machine, resolver, options, initial, seed,
+                fits_budget, start,
+            )
         )
 
     # Step [1]: price the seed schedule (n omega calls), plus the
@@ -347,7 +391,7 @@ def schedule_block(
             )
 
     # ------------------------------------------------------------------
-    # DFS state.
+    # DFS state (reference engine).
     # ------------------------------------------------------------------
     seed_pos = {ident: pos for pos, ident in enumerate(seed)}
     state = IncrementalTimingState(dag, resolver, initial)
@@ -410,7 +454,7 @@ def schedule_block(
     # Prune-event counters (plain locals in the hot loop; flushed into
     # the SearchResult / telemetry registry once, at the end).
     n_legality = n_bounds = n_equivalence = n_alpha_beta = 0
-    n_dominance = n_curtail = n_timeout = 0
+    n_dominance = n_curtail = n_timeout = n_memo_evicted = 0
     timed_out = False
 
     def interface_key(mask: int) -> tuple:
@@ -453,7 +497,7 @@ def schedule_block(
     def rec(remaining: int, mask: int) -> None:
         nonlocal best_nops, best_timing, improvements, omega_calls, live_count
         nonlocal n_legality, n_bounds, n_equivalence, n_alpha_beta
-        nonlocal n_dominance, n_curtail, n_timeout, timed_out
+        nonlocal n_dominance, n_curtail, n_timeout, n_memo_evicted, timed_out
         if cheapest_first:
             cands = sorted(ready, key=lambda i: (peek(i), seed_pos[i]))
         else:
@@ -486,10 +530,18 @@ def schedule_block(
             if dominance:
                 key = interface_key(mask)
                 prev = memo.get(key)
-                if prev is not None and mu >= prev:
-                    n_dominance += 1
-                    return
-                if len(memo) < max_memo:
+                if prev is not None:
+                    if mu >= prev:
+                        n_dominance += 1
+                        return
+                    memo[key] = mu  # tighter prefix: overwrite in place
+                elif max_memo > 0:
+                    if len(memo) >= max_memo:
+                        # FIFO eviction (dict insertion order): bounded
+                        # memory, graceful degradation — dominance only
+                        # ever prunes, so optimality is unaffected.
+                        memo.pop(next(iter(memo)))
+                        n_memo_evicted += 1
                     memo[key] = mu
 
         if equivalence and len(cands) > 1:
@@ -589,6 +641,7 @@ def schedule_block(
             elapsed_seconds=time.perf_counter() - start,
             improvements=improvements,
             timed_out=timed_out,
+            memo_evicted=n_memo_evicted,
             prune_counts=prune_counts(
                 legality=n_legality,
                 bounds=n_bounds,

@@ -72,6 +72,7 @@ def schedule_block_split(
     seed: Optional[Sequence[int]] = None,
     initial_conditions: Optional[InitialConditions] = None,
     telemetry: Optional[Telemetry] = None,
+    engine: str = "fast",
 ) -> SplitScheduleResult:
     """Schedule a block window-by-window, each window locally optimal.
 
@@ -81,9 +82,18 @@ def schedule_block_split(
         Maximum instructions re-ordered jointly (paper suggests ~20).
     curtail_per_window:
         Curtail point applied to each window's search independently.
+    engine:
+        ``"fast"`` runs the windows on the flattened array engine in
+        :mod:`repro.sched.core`; ``"reference"`` runs the recursive
+        formulation below.  Results are bit-for-bit identical
+        (everything except ``elapsed_seconds``).
     """
     if window < 1:
         raise ValueError("window must be at least 1 instruction")
+    if engine not in ("fast", "reference"):
+        raise ValueError(
+            f"unknown search engine {engine!r} (expected 'fast' or 'reference')"
+        )
     start = time.perf_counter()
     if seed is None:
         seed = list_schedule(dag)
@@ -92,6 +102,25 @@ def schedule_block_split(
         raise ValueError("seed must be a permutation of the block's tuples")
 
     resolver = SigmaResolver(dag, machine, assignment)
+
+    if engine == "fast":
+        from .core import run_fast_split
+
+        timing, windows, omega_calls, all_completed, totals = run_fast_split(
+            dag, machine, resolver, seed, window,
+            curtail_per_window, initial_conditions,
+        )
+        result = SplitScheduleResult(
+            timing=timing,
+            windows=windows,
+            omega_calls=omega_calls,
+            all_windows_completed=all_completed,
+            elapsed_seconds=time.perf_counter() - start,
+            prune_counts=totals,
+        )
+        if telemetry is not None:
+            telemetry.record_search(result)
+        return result
     state = IncrementalTimingState(dag, resolver, initial_conditions)
     successors = {i: tuple(dag.successors(i)) for i in dag.idents}
     omega_calls = 0

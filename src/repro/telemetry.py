@@ -33,6 +33,11 @@ Prune-event taxonomy (one counter per kind, ``prune.<kind>``):
     Nodes pruned by the dominance memo (an expanded twin prefix was at
     least as cheap).
 
+Searches additionally report ``search.memo_evicted`` — dominance-memo
+entries dropped (FIFO) to honor ``max_memo_entries``; a non-zero count
+means the memo hit its cap and degraded gracefully instead of growing
+without bound.
+
 Verification taxonomy (``verify.<kind>``, filled in by the independent
 checker in ``repro.verify`` — the oracle, the fuzzer and the
 ``verify=True`` population hook):
@@ -142,6 +147,8 @@ class Telemetry:
             self.count("search.completed")
         if getattr(result, "timed_out", False):
             self.count("search.timed_out")
+        # Dominance-memo evictions (zero-filled so the key always exists).
+        self.count("search.memo_evicted", getattr(result, "memo_evicted", 0))
         for kind in PRUNE_KINDS:
             self.counters.setdefault(f"prune.{kind}", 0)
         for kind, n in (getattr(result, "prune_counts", None) or {}).items():

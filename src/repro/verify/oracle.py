@@ -11,6 +11,8 @@ exhaustive enumerations, then:
 * asserts the invariant lattice between the results::
 
       brute == exhaustive == search  <=  split            (search complete)
+                       fast engine  ==  reference engine (bit for bit,
+                                                          no time limit)
                               search <=  list             (always)
                               multi  <=  pinned search    (always)
                               multi  ==  search            (deterministic
@@ -198,6 +200,17 @@ def check_block(
     )
     certify("search", search.best.order, search.best.etas, assignment)
 
+    # Twin-engine run: whichever engine `options` selects, the other one
+    # must reproduce it bit for bit (checked in the lattice below).
+    # Skipped under a wall-clock deadline, where the truncation point
+    # legitimately depends on the engine's speed.
+    twin = None
+    if options.time_limit is None:
+        twin_engine = "reference" if options.engine == "fast" else "fast"
+        twin = schedule_block(
+            dag, machine, options, assignment=assignment, engine=twin_engine
+        )
+
     split = schedule_block_split(dag, machine, assignment=assignment)
     split_flagged = not split.all_windows_completed
     if split_flagged:
@@ -252,6 +265,21 @@ def check_block(
                 telemetry.count("verify.invariant_failures")
             discrepancies.append(Discrepancy(invariant, detail))
 
+    if twin is not None:
+        expect(
+            twin.best == search.best
+            and twin.initial == search.initial
+            and twin.omega_calls == search.omega_calls
+            and twin.completed == search.completed
+            and twin.improvements == search.improvements
+            and twin.proved_by_bound == search.proved_by_bound
+            and twin.memo_evicted == search.memo_evicted
+            and dict(twin.prune_counts) == dict(search.prune_counts),
+            "fast==reference",
+            f"engines diverge: {search.final_nops} NOPs / "
+            f"{search.omega_calls} omega calls ({options.engine}) vs "
+            f"{twin.final_nops} / {twin.omega_calls} (twin engine)",
+        )
     expect(
         search.final_nops <= list_timing.total_nops,
         "search<=list",
