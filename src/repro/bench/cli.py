@@ -14,11 +14,11 @@ certification; the speedup itself is reported, never asserted (see
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Optional, Sequence
 
 from ..experiments.runner import DEFAULT_CURTAIL
+from ..ioutil import atomic_write_json
 from .hot_core import run_bench
 
 
@@ -74,17 +74,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    payload, failures = run_bench(
-        blocks=args.blocks,
-        master_seed=args.seed,
-        curtail=args.curtail,
-        repeats=args.repeats,
-        kernels=not args.no_kernels,
-        certify=not args.no_certify,
-    )
-    with open(args.out, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    try:
+        payload, failures = run_bench(
+            blocks=args.blocks,
+            master_seed=args.seed,
+            curtail=args.curtail,
+            repeats=args.repeats,
+            kernels=not args.no_kernels,
+            certify=not args.no_certify,
+        )
+    except KeyboardInterrupt:
+        print("\nrepro-bench: interrupted", file=sys.stderr)
+        return 130
+    # Atomic: a benchmark dashboard polling the file never reads a torn
+    # JSON document.
+    try:
+        atomic_write_json(args.out, payload)
+    except OSError as exc:
+        print(
+            f"repro-bench: error: cannot write {args.out}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
 
     pop = payload["suites"]["population"]
     print(

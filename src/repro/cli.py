@@ -286,6 +286,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 verify_memory=args.verify,
                 telemetry=telemetry,
             )
+    except KeyboardInterrupt:
+        _write_stats()  # partial counters beat losing the run's telemetry
+        print("\nrepro-compile: interrupted", file=sys.stderr)
+        return 130
     except Exception as exc:
         print(f"repro-compile: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 1
@@ -356,10 +360,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         chunks.append("\n".join(stats))
 
-    text = "\n\n".join(chunks) + "\n"
+    return _emit_text("\n\n".join(chunks) + "\n", args)
+
+
+def _emit_text(text: str, args) -> int:
     if args.output:
-        with open(args.output, "w") as fh:
-            fh.write(text)
+        from .ioutil import atomic_write_text
+
+        try:
+            atomic_write_text(args.output, text)
+        except OSError as exc:
+            print(
+                f"repro-compile: cannot write {args.output}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
     else:
         sys.stdout.write(text)
     return 0
@@ -396,13 +411,7 @@ def _emit_program(compiled, show, args) -> int:
         if args.verify is not None:
             stats.append("; verification: simulated output matches source semantics")
         chunks.append("\n".join(stats))
-    text = "\n\n".join(chunks) + "\n"
-    if args.output:
-        with open(args.output, "w") as fh:
-            fh.write(text)
-    else:
-        sys.stdout.write(text)
-    return 0
+    return _emit_text("\n\n".join(chunks) + "\n", args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -11,6 +11,13 @@ Examples::
     repro-experiments table1 fig4 --csv results/
     repro-experiments table7 --workers 8 --stats-json stats.json
     REPRO_SCALE=1 repro-experiments all --workers 0   # full run, all cores
+
+Fault tolerance (see docs/architecture.md, "Fault tolerance")::
+
+    repro-experiments table7 --journal run.journal     # checkpoint as you go
+    repro-experiments table7 --resume run.journal      # continue after a crash
+    repro-experiments table7 --run-timeout 600         # degrade, don't overrun
+    repro-experiments table7 --workers 4 --chaos crash=0.1,hang=0.05,seed=7
 """
 
 from __future__ import annotations
@@ -21,6 +28,10 @@ import sys
 import time
 from typing import List, Optional
 
+from ..ioutil import atomic_write_text
+from ..resilience.budget import BudgetManager
+from ..resilience.faults import FaultPlan
+from ..resilience.journal import Journal, JournalError
 from ..sched.search import SearchOptions
 from ..telemetry import Telemetry
 from . import (
@@ -57,9 +68,7 @@ ALL_EXPERIMENTS = ("table1",) + POPULATION_EXPERIMENTS + (
 
 def _write_csv(directory: str, name: str, text: str) -> None:
     os.makedirs(directory, exist_ok=True)
-    path = os.path.join(directory, f"{name}.csv")
-    with open(path, "w") as fh:
-        fh.write(text)
+    atomic_write_text(os.path.join(directory, f"{name}.csv"), text)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -129,6 +138,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write aggregated search telemetry (prune counters, phase "
         "times) to PATH as JSON",
     )
+    parser.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="checkpoint the population run: append each completed block "
+        "record to PATH (fsync'd) so an interrupted run can --resume",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="resume the population run from a checkpoint journal: "
+        "journaled blocks are merged back, only unfinished ones are "
+        "scheduled; new records keep appending to PATH",
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run-level wall-clock budget for the population pass; blocks "
+        "past the deadline degrade down the ladder (split windows, then "
+        "list seeds) instead of overrunning",
+    )
+    parser.add_argument(
+        "--run-omega-budget",
+        type=int,
+        default=None,
+        metavar="CALLS",
+        help="run-level Ω-call budget for the population pass; once spent, "
+        "remaining blocks publish their list-schedule seeds",
+    )
+    parser.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="deterministic fault injection for the parallel engine, e.g. "
+        "'crash=0.1,hang=0.05,seed=7' (testing the supervisor; see "
+        "repro.resilience.faults)",
+    )
     args = parser.parse_args(argv)
 
     wanted = list(args.experiments)
@@ -155,32 +204,147 @@ def main(argv: Optional[List[str]] = None) -> int:
     if workers < 1:
         parser.error("--workers must be >= 0")
 
+    if args.journal and args.resume and args.journal != args.resume:
+        parser.error("--journal and --resume must name the same file")
+    fault_plan = None
+    if args.chaos:
+        try:
+            fault_plan = FaultPlan.parse(args.chaos)
+        except ValueError as exc:
+            parser.error(str(exc))
+    budget = None
+    if args.run_timeout is not None or args.run_omega_budget is not None:
+        try:
+            budget = BudgetManager(
+                run_wall_clock=args.run_timeout,
+                run_omega_cap=args.run_omega_budget,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+
     telemetry = Telemetry()
     results = {}
     records = None
-    if any(w in POPULATION_EXPERIMENTS for w in wanted):
-        n_blocks = args.blocks if args.blocks is not None else population_size()
-        verified = ", verified" if args.verify else ""
-        print(
-            f"[population] scheduling {n_blocks:,} synthetic blocks "
-            f"(lambda={args.curtail:,}, seed={args.seed}, "
-            f"workers={workers}{verified}) ...",
-            flush=True,
-        )
-        start = time.perf_counter()
-        with telemetry.phase("population"):
-            records = run_population_parallel(
-                n_blocks,
-                args.curtail,
-                args.seed,
-                options=SearchOptions(curtail=args.curtail, engine=args.engine),
-                workers=workers,
-                block_timeout=args.block_timeout,
-                telemetry=telemetry,
-                verify=args.verify,
-            )
-        print(f"[population] done in {time.perf_counter() - start:.1f}s\n")
+    journal = None
+    journal_path = args.resume or args.journal
 
+    def write_stats(partial: bool = False) -> None:
+        if not args.stats_json:
+            return
+        telemetry.write_json(
+            args.stats_json,
+            meta={
+                "experiments": wanted,
+                "blocks": len(records) if records is not None else 0,
+                "curtail": args.curtail,
+                "engine": args.engine,
+                "master_seed": args.seed,
+                "workers": workers,
+                "block_timeout": args.block_timeout,
+                "verify": args.verify,
+                "partial": partial,
+            },
+        )
+        state = "partial telemetry" if partial else "telemetry"
+        print(f"[stats] {state} written to {args.stats_json}")
+
+    try:
+        if any(w in POPULATION_EXPERIMENTS for w in wanted):
+            n_blocks = (
+                args.blocks if args.blocks is not None else population_size()
+            )
+            done = None
+            if journal_path:
+                # The fingerprint pins everything that shapes the records;
+                # a journal from differently-parameterized runs is rejected.
+                config = {
+                    "blocks": n_blocks,
+                    "curtail": args.curtail,
+                    "master_seed": args.seed,
+                    "engine": args.engine,
+                    "verify": args.verify,
+                    "block_timeout": args.block_timeout,
+                }
+                if args.resume:
+                    journal, done = Journal.resume(journal_path, config)
+                    if done:
+                        print(
+                            f"[population] resuming: {len(done):,} of "
+                            f"{n_blocks:,} blocks recovered from "
+                            f"{journal_path}"
+                        )
+                else:
+                    journal = Journal.create(journal_path, config)
+            verified = ", verified" if args.verify else ""
+            print(
+                f"[population] scheduling {n_blocks:,} synthetic blocks "
+                f"(lambda={args.curtail:,}, seed={args.seed}, "
+                f"workers={workers}{verified}) ...",
+                flush=True,
+            )
+            start = time.perf_counter()
+            with telemetry.phase("population"):
+                records = run_population_parallel(
+                    n_blocks,
+                    args.curtail,
+                    args.seed,
+                    options=SearchOptions(
+                        curtail=args.curtail, engine=args.engine
+                    ),
+                    workers=workers,
+                    block_timeout=args.block_timeout,
+                    telemetry=telemetry,
+                    verify=args.verify,
+                    done=done,
+                    on_records=None if journal is None else journal.append,
+                    budget=budget,
+                    fault_plan=fault_plan,
+                )
+            print(f"[population] done in {time.perf_counter() - start:.1f}s\n")
+    except JournalError as exc:
+        print(f"repro-experiments: error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        # The journal is fsync'd per chunk, so everything finished is
+        # already durable; flush partial stats and report how to resume.
+        if journal is not None:
+            journal.close()
+            print(
+                f"\nrepro-experiments: interrupted — {journal.appended:,} "
+                f"block records journaled to {journal.path}; rerun with "
+                f"--resume {journal.path} to continue",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "\nrepro-experiments: interrupted (no --journal; "
+                "population progress lost)",
+                file=sys.stderr,
+            )
+        write_stats(partial=True)
+        return 130
+    finally:
+        if journal is not None:
+            journal.close()
+
+    try:
+        _render_experiments(wanted, args, records, results)
+    except KeyboardInterrupt:
+        print(
+            "\nrepro-experiments: interrupted while rendering experiments",
+            file=sys.stderr,
+        )
+        write_stats(partial=True)
+        return 130
+
+    write_stats()
+    if journal is not None:
+        print(f"[journal] {journal.appended:,} block records in {journal.path}")
+
+    return 0
+
+
+def _render_experiments(wanted, args, records, results) -> None:
     for name in wanted:
         start = time.perf_counter()
         if name == "table1":
@@ -222,24 +386,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         results[name] = result
         if args.csv:
             _write_csv(args.csv, name, result.csv())
-
-    if args.stats_json:
-        telemetry.write_json(
-            args.stats_json,
-            meta={
-                "experiments": wanted,
-                "blocks": len(records) if records is not None else 0,
-                "curtail": args.curtail,
-                "engine": args.engine,
-                "master_seed": args.seed,
-                "workers": workers,
-                "block_timeout": args.block_timeout,
-                "verify": args.verify,
-            },
-        )
-        print(f"[stats] telemetry written to {args.stats_json}")
-
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

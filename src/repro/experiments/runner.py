@@ -20,16 +20,28 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field, replace
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, List, Mapping, Optional
 
 from ..ir.dag import DependenceDAG
 from ..machine.machine import MachineDescription
 from ..machine.presets import paper_simulation_machine
-from ..sched.list_scheduler import program_order
+from ..resilience.budget import (
+    STEP_CURTAILED,
+    STEP_LIST_SEED,
+    STEP_OPTIMAL,
+    STEP_SPLIT,
+    BudgetManager,
+)
+from ..sched.list_scheduler import list_schedule, program_order
 from ..sched.nop_insertion import compute_timing
 from ..sched.search import SearchOptions, schedule_block
+from ..sched.splitting import schedule_block_split
 from ..synth.generator import GeneratedBlock
-from ..synth.population import PopulationSpec, sample_population
+from ..synth.population import (
+    PopulationSpec,
+    generate_from_params,
+    sample_population_params,
+)
 from ..telemetry import Telemetry
 
 #: The paper's population size.
@@ -66,11 +78,17 @@ class BlockRecord:
     final_nops: int  # mu of the search's best schedule
     omega_calls: int
     completed: bool  # condition [1]: provably optimal
-    #: The search hit its wall-clock deadline and ``final_nops`` is the
-    #: deterministic list-schedule seed, not the search incumbent.
-    #: Degraded records are never ``completed`` — Table 7 and the verify
-    #: oracle must count them as truncated, never as optimal.
+    #: The search hit its wall-clock deadline (or the run budget was
+    #: exhausted, or the block was quarantined after repeated worker
+    #: failures) and ``final_nops`` is a deterministic fallback — the
+    #: split-windows schedule or the list-schedule seed — not the search
+    #: incumbent.  Degraded records are never ``completed`` — Table 7 and
+    #: the verify oracle must count them as truncated, never as optimal.
     degraded: bool = False
+    #: Which rung of the degradation ladder published this record — one
+    #: of ``repro.resilience.budget.LADDER`` (``""`` only on records
+    #: predating the resilience layer).
+    ladder: str = ""
     elapsed_seconds: float = field(default=0.0, compare=False)
 
     @property
@@ -82,6 +100,65 @@ class VerificationError(AssertionError):
     """A population schedule failed its independent certificate check."""
 
 
+def _empty_record(index: int, gb: GeneratedBlock, telemetry) -> BlockRecord:
+    """The zero-size record for a block the optimizer folded away."""
+    if telemetry is not None:
+        telemetry.count("blocks.empty")
+        telemetry.count(f"resilience.ladder.{STEP_OPTIMAL}")
+    return BlockRecord(
+        index=index,
+        size=0,
+        statements=gb.statements,
+        initial_nops=0,
+        seed_nops=0,
+        final_nops=0,
+        omega_calls=0,
+        completed=True,
+        degraded=False,
+        ladder=STEP_OPTIMAL,
+        elapsed_seconds=0.0,
+    )
+
+
+def list_seed_record(
+    index: int,
+    gb: GeneratedBlock,
+    machine: MachineDescription,
+    telemetry: Optional[Telemetry] = None,
+) -> BlockRecord:
+    """The bottom rung of the degradation ladder: no search at all.
+
+    Publishes the deterministic list-schedule seed.  Used when the
+    run-level budget is already exhausted before a block starts and when
+    a poisoned worker chunk is quarantined — the two situations where a
+    record is still owed but searching is off the table.
+    ``omega_calls=0`` records honestly that no search ran.
+    """
+    block = gb.block
+    if len(block) == 0:
+        return _empty_record(index, gb, telemetry)
+    start = time.perf_counter()
+    dag = DependenceDAG(block)
+    initial = compute_timing(dag, program_order(dag), machine)
+    seed = compute_timing(dag, list_schedule(dag), machine)
+    if telemetry is not None:
+        telemetry.count("blocks.degraded")
+        telemetry.count(f"resilience.ladder.{STEP_LIST_SEED}")
+    return BlockRecord(
+        index=index,
+        size=len(block),
+        statements=gb.statements,
+        initial_nops=initial.total_nops,
+        seed_nops=seed.total_nops,
+        final_nops=seed.total_nops,
+        omega_calls=0,
+        completed=False,
+        degraded=True,
+        ladder=STEP_LIST_SEED,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
 def schedule_generated_block(
     index: int,
     gb: GeneratedBlock,
@@ -90,6 +167,7 @@ def schedule_generated_block(
     telemetry: Optional[Telemetry] = None,
     block_timeout: Optional[float] = None,
     verify: bool = False,
+    budget: Optional[BudgetManager] = None,
 ) -> BlockRecord:
     """Schedule one population member and build its record.
 
@@ -97,33 +175,35 @@ def schedule_generated_block(
     produce a zero-size record instead of a gap, so ``BlockRecord.index``
     stays dense and the record count always equals the population size.
 
-    ``block_timeout`` bounds the wall-clock spent searching this block;
-    a block that exceeds it degrades to its list-schedule seed (recorded
-    with ``degraded=True, completed=False``) instead of stalling the
-    whole run.
+    ``block_timeout`` bounds the wall-clock spent searching this block; a
+    block that exceeds it walks down the degradation ladder (see
+    :mod:`repro.resilience.budget`): with a ``budget`` manager whose
+    split fallback is enabled, the section-5.3 windowed scheduler gets a
+    small deterministic Ω budget to beat the list seed
+    (``ladder="split-windows"``); otherwise — and when the windows do
+    not improve on it — the block publishes its list-schedule seed
+    (``ladder="list-seed"``).  Either way the record is marked
+    ``degraded=True, completed=False`` instead of stalling the run.
 
-    ``verify`` re-derives the recorded schedule's legality and NOP count
-    through :mod:`repro.verify.certificate` (an implementation that
+    ``budget`` additionally clamps the block's curtail point and memo cap
+    and enforces the run-level budgets: once those are exhausted, blocks
+    skip the search entirely and publish their list seeds.
+
+    ``verify`` re-derives the *published* schedule's legality and NOP
+    count through :mod:`repro.verify.certificate` (an implementation that
     shares no code with the schedulers) and raises
     :class:`VerificationError` on any mismatch — an Ω-accounting bug in
     the search can then never silently contaminate the experiment data.
     """
     block = gb.block
     if len(block) == 0:
-        if telemetry is not None:
-            telemetry.count("blocks.empty")
-        return BlockRecord(
-            index=index,
-            size=0,
-            statements=gb.statements,
-            initial_nops=0,
-            seed_nops=0,
-            final_nops=0,
-            omega_calls=0,
-            completed=True,
-            degraded=False,
-            elapsed_seconds=0.0,
-        )
+        return _empty_record(index, gb, telemetry)
+    if budget is not None:
+        if budget.run_exhausted() is not None:
+            if telemetry is not None:
+                telemetry.count("resilience.run_budget_exhausted")
+            return list_seed_record(index, gb, machine, telemetry)
+        options = budget.options_for_block(options)
     if block_timeout is not None:
         limit = (
             block_timeout
@@ -135,17 +215,41 @@ def schedule_generated_block(
     initial = compute_timing(dag, program_order(dag), machine)
     start = time.perf_counter()
     result = schedule_block(dag, machine, options, telemetry=telemetry)
-    elapsed = time.perf_counter() - start
-    # Deadline-truncated searches degrade to the list-schedule seed: the
-    # incumbent they stopped on depends on wall clock, the seed does not.
+    # Deadline-truncated searches degrade: the incumbent they stopped on
+    # depends on wall clock, the fallback rungs below do not.
     degraded = result.timed_out
-    final_nops = result.initial_nops if degraded else result.final_nops
-    if telemetry is not None and degraded:
-        telemetry.count("blocks.degraded")
+    omega_calls = result.omega_calls
+    if not degraded:
+        ladder = STEP_OPTIMAL if result.completed else STEP_CURTAILED
+        timing = result.best
+        final_nops = result.final_nops
+    else:
+        ladder = STEP_LIST_SEED
+        timing = result.initial
+        final_nops = result.initial_nops
+        if budget is not None and budget.split_fallback and len(block) > 1:
+            split = schedule_block_split(
+                dag,
+                machine,
+                window=budget.split_window,
+                curtail_per_window=budget.split_curtail,
+                telemetry=telemetry,
+                engine=options.engine,
+            )
+            omega_calls += split.omega_calls
+            if split.total_nops < result.initial_nops:
+                ladder = STEP_SPLIT
+                timing = split.timing
+                final_nops = split.total_nops
+    elapsed = time.perf_counter() - start
+    if budget is not None:
+        budget.charge(omega_calls)
+    if telemetry is not None:
+        if degraded:
+            telemetry.count("blocks.degraded")
+        telemetry.count(f"resilience.ladder.{ladder}")
     if verify:
-        _verify_record(
-            block, dag, machine, result, final_nops, degraded, telemetry
-        )
+        _verify_record(block, dag, machine, timing, final_nops, telemetry)
     return BlockRecord(
         index=index,
         size=len(block),
@@ -153,24 +257,25 @@ def schedule_generated_block(
         initial_nops=initial.total_nops,
         seed_nops=result.initial_nops,
         final_nops=final_nops,
-        omega_calls=result.omega_calls,
+        omega_calls=omega_calls,
         completed=result.completed and not degraded,
         degraded=degraded,
+        ladder=ladder,
         elapsed_seconds=elapsed,
     )
 
 
-def _verify_record(block, dag, machine, result, final_nops, degraded, telemetry):
+def _verify_record(block, dag, machine, timing, final_nops, telemetry):
     """Certify the schedule a record is about to publish.
 
-    Degraded records publish the list-schedule seed (``result.initial``),
-    so that is the schedule certified — verifying the abandoned incumbent
-    would check a schedule nobody reports.
+    ``timing`` is whatever the degradation ladder published — the search
+    optimum, a curtailed incumbent, the split-windows schedule, or the
+    list seed — because that is the schedule the record reports;
+    verifying an abandoned incumbent would check a schedule nobody sees.
     """
     from ..sched.multi import first_pipeline_assignment
     from ..verify.certificate import check_schedule
 
-    timing = result.initial if degraded else result.best
     assignment = first_pipeline_assignment(dag, machine)
     cert = check_schedule(
         block, machine, timing.order, timing.etas, assignment=assignment
@@ -203,6 +308,9 @@ def run_population(
     telemetry: Optional[Telemetry] = None,
     block_timeout: Optional[float] = None,
     verify: bool = False,
+    done: Optional[Mapping[int, BlockRecord]] = None,
+    on_record: Optional[Callable[[BlockRecord], None]] = None,
+    budget: Optional[BudgetManager] = None,
 ) -> List[BlockRecord]:
     """Schedule ``n_blocks`` synthetic blocks; one record per block.
 
@@ -211,29 +319,59 @@ def run_population(
     ``seed_nops`` is the list schedule's count (the search's incumbent).
     With ``verify=True`` every published schedule is certified through
     the independent checker (see :func:`schedule_generated_block`).
+
+    Resilience hooks (all optional, all no-ops by default):
+
+    * ``done`` — records already finished by an earlier, interrupted run
+      (from a checkpoint journal).  Their blocks are skipped — only the
+      cheap parameter stream is replayed, not generation or search — and
+      the journaled records slot back in at their indexes, so a resumed
+      run returns exactly what an uninterrupted one would.
+    * ``on_record`` — called with each *freshly scheduled* record the
+      moment it exists (not with journal-replayed ones); the CLI points
+      this at :meth:`repro.resilience.journal.Journal.append`.
+    * ``budget`` — a started :class:`BudgetManager` enforcing run-level
+      wall-clock/Ω budgets and per-block clamps, enabling the
+      split-windows ladder rung (see :func:`schedule_generated_block`).
     """
     if machine is None:
         machine = paper_simulation_machine()
     if options is None:
         options = SearchOptions(curtail=curtail)
+    if budget is not None:
+        budget.start()
     records: List[BlockRecord] = []
-    blocks = sample_population(n_blocks, master_seed, spec)
+    skipped = 0
     generated = 0.0
-    for index in range(n_blocks):
+    for params in sample_population_params(n_blocks, master_seed, spec):
+        if done is not None and params.index in done:
+            records.append(done[params.index])
+            skipped += 1
+            continue
         t0 = time.perf_counter()
-        gb = next(blocks)
+        gb = generate_from_params(params, spec)
         generated += time.perf_counter() - t0
-        records.append(
-            schedule_generated_block(
-                index, gb, machine, options, telemetry, block_timeout, verify
-            )
+        record = schedule_generated_block(
+            params.index,
+            gb,
+            machine,
+            options,
+            telemetry,
+            block_timeout,
+            verify,
+            budget=budget,
         )
+        records.append(record)
+        if on_record is not None:
+            on_record(record)
     assert len(records) == n_blocks, (
         f"population run produced {len(records)} records for "
         f"{n_blocks} blocks"
     )
     if telemetry is not None:
-        telemetry.count("blocks.scheduled", len(records))
+        telemetry.count("blocks.scheduled", len(records) - skipped)
+        if skipped:
+            telemetry.count("resilience.journal_blocks_skipped", skipped)
         telemetry.add_time("phase.generate", generated)
     return records
 

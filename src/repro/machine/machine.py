@@ -35,7 +35,18 @@ UNPIPELINED_LATENCY = 1
 
 
 class MachineValidationError(ValueError):
-    """Raised when a machine description is internally inconsistent."""
+    """Raised when a machine description is internally inconsistent.
+
+    ``field`` names the offending entry when the error was raised against
+    structured input (e.g. ``"pipelines[2].latency"`` for a machine built
+    from a dict/JSON payload), so callers can point users at the exact
+    datum instead of echoing a whole description.  ``None`` when the
+    inconsistency is not attributable to a single field.
+    """
+
+    def __init__(self, message: str, field: Optional[str] = None):
+        super().__init__(message if field is None else f"{field}: {message}")
+        self.field = field
 
 
 @dataclass(frozen=True)

@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping
 
 from ..ir.ops import Opcode, parse_opcode
-from .machine import MachineDescription
+from .machine import MachineDescription, MachineValidationError
 from .pipeline import PipelineDesc
 
 
@@ -65,25 +65,130 @@ def machine_to_dict(machine: MachineDescription) -> Dict:
     }
 
 
+_MACHINE_KEYS = frozenset({"name", "pipelines", "op_map"})
+_PIPELINE_KEYS = frozenset({"function", "id", "latency", "enqueue_time"})
+
+
+def _int_entry(entry: Mapping, key: str, where: str) -> int:
+    if key not in entry:
+        raise MachineValidationError(f"missing key: {key!r}", field=where)
+    value = entry[key]
+    # bool is an int subclass but `"latency": true` is a mistake, not a 1.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise MachineValidationError(
+            f"must be an integer, got {value!r}", field=f"{where}.{key}"
+        )
+    return value
+
+
 def machine_from_dict(data: Mapping) -> MachineDescription:
-    """Inverse of :func:`machine_to_dict` (validates via the constructor)."""
-    try:
-        pipelines = [
-            PipelineDesc(
-                entry["function"],
-                entry["id"],
-                entry["latency"],
-                entry["enqueue_time"],
+    """Inverse of :func:`machine_to_dict`.
+
+    Untrusted-input hardening: every structural problem — unknown or
+    missing keys, wrong types, non-positive latencies/enqueue times,
+    duplicate pipeline ids, unknown opcodes or pipeline references —
+    raises :class:`MachineValidationError` whose ``field`` names the
+    offending entry (``"pipelines[2].latency"``), so CLI users editing a
+    JSON machine by hand get pointed at the exact datum.  (Duplicate
+    *function names* are legal: a machine with two loader pipelines is
+    exactly what the multi-pipeline extension schedules over.)
+    """
+    if not isinstance(data, Mapping):
+        raise MachineValidationError(
+            f"must be an object, got {type(data).__name__}", field="machine"
+        )
+    unknown = sorted(set(data) - _MACHINE_KEYS)
+    if unknown:
+        raise MachineValidationError(
+            f"unknown key(s): {', '.join(map(repr, unknown))}", field="machine"
+        )
+    for key in ("name", "pipelines"):
+        if key not in data:
+            raise MachineValidationError(f"missing key: {key!r}", field="machine")
+    name = data["name"]
+    if not isinstance(name, str) or not name:
+        raise MachineValidationError("must be a non-empty string", field="name")
+    raw_pipelines = data["pipelines"]
+    if not isinstance(raw_pipelines, (list, tuple)):
+        raise MachineValidationError(
+            "must be a list of pipeline entries", field="pipelines"
+        )
+    pipelines: List[PipelineDesc] = []
+    seen_ids: Dict[int, int] = {}
+    for i, entry in enumerate(raw_pipelines):
+        where = f"pipelines[{i}]"
+        if not isinstance(entry, Mapping):
+            raise MachineValidationError("must be an object", field=where)
+        unknown = sorted(set(entry) - _PIPELINE_KEYS)
+        if unknown:
+            raise MachineValidationError(
+                f"unknown key(s): {', '.join(map(repr, unknown))}", field=where
             )
-            for entry in data["pipelines"]
-        ]
-        op_map = {
-            parse_opcode(name): set(pids)
-            for name, pids in data.get("op_map", {}).items()
-        }
-        name = data["name"]
-    except KeyError as exc:
-        raise ValueError(f"machine dict missing key: {exc}") from None
+        function = entry.get("function")
+        if not isinstance(function, str) or not function:
+            raise MachineValidationError(
+                "must be a non-empty string", field=f"{where}.function"
+            )
+        ident = _int_entry(entry, "id", where)
+        latency = _int_entry(entry, "latency", where)
+        enqueue = _int_entry(entry, "enqueue_time", where)
+        if ident < 1:
+            raise MachineValidationError(
+                f"pipeline identifiers start at 1, got {ident}",
+                field=f"{where}.id",
+            )
+        if latency < 1:
+            raise MachineValidationError(
+                f"latency must be at least 1 clock tick, got {latency}",
+                field=f"{where}.latency",
+            )
+        if enqueue < 1:
+            raise MachineValidationError(
+                f"enqueue time must be at least 1 clock tick, got {enqueue}",
+                field=f"{where}.enqueue_time",
+            )
+        if enqueue > latency:
+            raise MachineValidationError(
+                f"enqueue time cannot exceed latency ({enqueue} > {latency})",
+                field=f"{where}.enqueue_time",
+            )
+        if ident in seen_ids:
+            raise MachineValidationError(
+                f"duplicate pipeline id {ident} "
+                f"(already used by pipelines[{seen_ids[ident]}])",
+                field=f"{where}.id",
+            )
+        seen_ids[ident] = i
+        pipelines.append(PipelineDesc(function, ident, latency, enqueue))
+    raw_op_map = data.get("op_map", {})
+    if not isinstance(raw_op_map, Mapping):
+        raise MachineValidationError(
+            "must be an object mapping opcodes to pipeline-id lists",
+            field="op_map",
+        )
+    op_map: Dict[Opcode, set] = {}
+    for op_name, raw_pids in raw_op_map.items():
+        where = f"op_map[{op_name!r}]"
+        try:
+            op = parse_opcode(op_name)
+        except (ValueError, TypeError) as exc:
+            raise MachineValidationError(str(exc), field=where) from None
+        if not isinstance(raw_pids, (list, tuple, set, frozenset)):
+            raise MachineValidationError(
+                "must be a list of pipeline ids", field=where
+            )
+        pids = set()
+        for pid in raw_pids:
+            if isinstance(pid, bool) or not isinstance(pid, int):
+                raise MachineValidationError(
+                    f"pipeline ids must be integers, got {pid!r}", field=where
+                )
+            if pid not in seen_ids:
+                raise MachineValidationError(
+                    f"references unknown pipeline id {pid}", field=where
+                )
+            pids.add(pid)
+        op_map[op] = pids
     return MachineDescription(name, pipelines, op_map)
 
 

@@ -1,0 +1,161 @@
+"""Worker supervision policy: heartbeats, retries, backoff, quarantine.
+
+The mechanics of running worker processes live in
+:mod:`repro.experiments.parallel`; this module owns the *policy* as a
+plain, unit-testable state machine:
+
+* Workers send a heartbeat message per scheduled block.  A worker whose
+  heartbeat goes stale for longer than ``hang_timeout`` is presumed hung
+  (livelock, pathological block) and is terminated; a worker process
+  that dies without delivering its results (OOM kill, segfault,
+  interpreter crash) is detected the same way the moment its process
+  object reports dead.  Heartbeats measure *progress*, not liveness —
+  a worker spinning uselessly is as dead as one that exited.
+* A failed chunk is requeued with capped exponential backoff
+  (``backoff_base * 2**(attempt-1)``, at most ``backoff_cap`` seconds),
+  so a systemic failure (disk full, fork bomb elsewhere on the host)
+  does not turn into a tight crash loop.
+* After ``max_retries`` failed attempts a chunk is **poisoned**: the
+  parent quarantines it and degrades its blocks to their deterministic
+  list-schedule seeds (the bottom rung of the degradation ladder)
+  instead of aborting the whole run.  One pathological block can cost
+  its chunk optimality; it can no longer cost the run.
+
+Returned chunks are validated before acceptance (:func:`validate_records`):
+a worker that returns records for the wrong blocks, impossible NOP
+counts, or inconsistent flags is treated exactly like a crashed one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .budget import LADDER
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tuning knobs of the population-run supervisor."""
+
+    #: Seconds without a worker heartbeat before it is presumed hung.
+    #: Must exceed the worst-case single-block scheduling time (bound it
+    #: with a block wall-clock budget when in doubt).
+    hang_timeout: float = 30.0
+    #: Parent poll cadence for worker messages and liveness.
+    poll_interval: float = 0.02
+    #: Failed attempts before a chunk is poisoned (quarantined).
+    max_retries: int = 3
+    #: Exponential backoff: first retry after ``backoff_base`` seconds.
+    backoff_base: float = 0.25
+    #: Backoff ceiling.
+    backoff_cap: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.hang_timeout <= 0:
+            raise ValueError("hang_timeout must be positive")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff must be non-negative")
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based) of a chunk."""
+        if attempt <= 0:
+            return 0.0
+        return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+
+
+def validate_records(records, expected_indexes: Sequence[int]) -> Optional[str]:
+    """Why a worker's returned records are unacceptable (``None`` if fine).
+
+    The checks are cheap structural invariants every honestly-produced
+    record satisfies; violating any of them means the payload was
+    corrupted in flight or the worker is broken, and the chunk must be
+    retried.
+    """
+    if not isinstance(records, list):
+        return f"payload is {type(records).__name__}, not a record list"
+    got = [getattr(r, "index", None) for r in records]
+    if got != list(expected_indexes):
+        return f"record indexes {got} != assigned blocks {list(expected_indexes)}"
+    for r in records:
+        if r.size < 0 or r.statements < 0 or r.omega_calls < 0:
+            return f"block {r.index}: negative size/statements/omega_calls"
+        if min(r.initial_nops, r.seed_nops, r.final_nops) < 0:
+            return f"block {r.index}: negative NOP count"
+        if r.final_nops > r.seed_nops:
+            return (
+                f"block {r.index}: published {r.final_nops} NOPs, worse "
+                f"than its own list seed ({r.seed_nops})"
+            )
+        if r.completed and r.degraded:
+            return f"block {r.index}: completed and degraded are exclusive"
+        if r.ladder not in LADDER:
+            return f"block {r.index}: unknown ladder step {r.ladder!r}"
+    return None
+
+
+class ChunkSupervisor:
+    """Bookkeeping for one supervised run over ``n_chunks`` chunks.
+
+    Pure state machine over an injected clock: no processes, no sleeps.
+    The driver asks :meth:`next_ready` what to launch, reports
+    :meth:`note_success` / :meth:`note_failure`, and stops when
+    :meth:`finished`.
+    """
+
+    def __init__(self, n_chunks: int, config: SupervisorConfig):
+        self.config = config
+        self.pending = deque(range(n_chunks))
+        self.attempts: Dict[int, int] = {cid: 0 for cid in range(n_chunks)}
+        self.eligible_at: Dict[int, float] = {cid: 0.0 for cid in range(n_chunks)}
+        self.done: set = set()
+        self.poisoned: set = set()
+        self.failures: List[str] = []  # "(chunk, attempt, kind)" audit trail
+
+    # -- scheduling ----------------------------------------------------
+    def next_ready(self, now: float) -> Optional[int]:
+        """Pop a pending chunk whose backoff has elapsed, if any."""
+        for _ in range(len(self.pending)):
+            cid = self.pending.popleft()
+            if self.eligible_at[cid] <= now:
+                return cid
+            self.pending.append(cid)
+        return None
+
+    def sleep_hint(self, now: float) -> float:
+        """Longest useful sleep when nothing is ready (backoff waits)."""
+        if not self.pending:
+            return self.config.poll_interval
+        earliest = min(self.eligible_at[cid] for cid in self.pending)
+        return max(0.0, min(earliest - now, self.config.backoff_cap))
+
+    # -- outcomes ------------------------------------------------------
+    def note_success(self, cid: int) -> None:
+        self.done.add(cid)
+
+    def note_failure(self, cid: int, kind: str, now: float) -> str:
+        """Record a failed attempt; returns ``"retry"`` or ``"poison"``."""
+        self.attempts[cid] += 1
+        self.failures.append(f"chunk {cid} attempt {self.attempts[cid]}: {kind}")
+        if self.attempts[cid] > self.config.max_retries:
+            self.poisoned.add(cid)
+            return "poison"
+        self.eligible_at[cid] = now + self.config.backoff_delay(self.attempts[cid])
+        self.pending.append(cid)
+        return "retry"
+
+    def drain_pending(self) -> List[int]:
+        """Take every not-yet-running chunk (run-budget exhaustion path)."""
+        drained = list(self.pending)
+        self.pending.clear()
+        return drained
+
+    def finished(self) -> bool:
+        return all(
+            cid in self.done or cid in self.poisoned for cid in self.attempts
+        )

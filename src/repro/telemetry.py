@@ -58,6 +58,30 @@ checker in ``repro.verify`` — the oracle, the fuzzer and the
 ``verify.blocks_failed``
     Block/machine pairs with at least one discrepancy.
 
+Resilience taxonomy (``resilience.<kind>``, filled in by the budget
+ladder in ``repro.experiments.runner`` and the supervised parallel
+engine — see ``repro.resilience``):
+
+``resilience.ladder.<step>``
+    Blocks published by each rung of the degradation ladder
+    (``optimal-search``, ``curtailed-search``, ``split-windows``,
+    ``list-seed``).
+``resilience.run_budget_exhausted``
+    Blocks that skipped the search because the run-level wall-clock or
+    Ω budget was already spent.
+``resilience.journal_blocks_skipped``
+    Blocks recovered from a checkpoint journal on ``--resume`` instead
+    of being re-scheduled.
+``resilience.crashes_detected`` / ``resilience.hangs_detected``
+    Worker processes the supervisor found dead / heartbeat-stale.
+``resilience.corrupted_records``
+    Worker result payloads rejected by record validation.
+``resilience.chunk_retries``
+    Chunk attempts requeued after a worker failure.
+``resilience.poison_chunks`` / ``resilience.poison_blocks``
+    Chunks quarantined after exhausting their retries, and the blocks
+    they degraded to list seeds.
+
 The registry is deliberately dumb: the searches accumulate plain local
 integers in their hot loops and flush them here once per block, so the
 per-node overhead of telemetry is a handful of integer adds whether or
@@ -190,8 +214,10 @@ class Telemetry:
     def write_json(
         self, path: str, meta: Optional[Mapping[str, Any]] = None
     ) -> None:
-        with open(path, "w") as fh:
-            fh.write(self.dumps(meta) + "\n")
+        """Write the payload atomically (readers never see a torn file)."""
+        from .ioutil import atomic_write_text
+
+        atomic_write_text(path, self.dumps(meta) + "\n")
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Telemetry":

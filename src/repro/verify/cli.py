@@ -87,10 +87,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     checks = 0
 
     if args.replay is not None:
-        report = replay_report(
-            args.replay, options=options, brute_cap=args.brute_cap,
-            telemetry=telemetry,
-        )
+        try:
+            report = replay_report(
+                args.replay, options=options, brute_cap=args.brute_cap,
+                telemetry=telemetry,
+            )
+        except (OSError, ValueError, KeyError) as exc:
+            # Unreadable path, torn JSON, or a report from a newer schema:
+            # one line, not a traceback.
+            print(
+                f"repro-verify: cannot replay {args.replay}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
         print(report.summary())
         _write_stats(telemetry, args)
         return 0 if report.ok else 1
@@ -103,6 +112,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.kernels and args.blocks <= 0:
         args.kernels = True  # bare `repro-verify` still verifies something
 
+    try:
+        return _run_checks(
+            args, options, telemetry, machines, blocks_checked, checks, failures
+        )
+    except KeyboardInterrupt:
+        print("\nrepro-verify: interrupted", file=sys.stderr)
+        _write_stats(telemetry, args)  # partial verify.* counters
+        return 130
+
+
+def _run_checks(
+    args, options, telemetry, machines, blocks_checked, checks, failures
+) -> int:
     if args.kernels:
         # Lowering/optimization is machine-independent; compile once on
         # the (deterministic) paper machine, then verify the tuple block

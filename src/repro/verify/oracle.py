@@ -44,6 +44,7 @@ from ..ir.block import BasicBlock
 from ..ir.dag import COUNT_CAPPED, DependenceDAG
 from ..ir.interp import UndefinedVariableError
 from ..ir.textual import format_block, parse_block
+from ..ioutil import atomic_write_json, atomic_write_text
 from ..machine.machine import MachineDescription
 from ..machine.serialize import machine_from_dict, machine_to_dict
 from ..sched.exhaustive import legal_only_search
@@ -408,29 +409,25 @@ def _emit_report(
         k += 1
         path = os.path.join(emit_dir, f"{base}-{k}")
     os.makedirs(path)
-    with open(os.path.join(path, "machine.json"), "w") as fh:
-        json.dump(machine_to_dict(machine), fh, indent=2)
-        fh.write("\n")
-    with open(os.path.join(path, "block.txt"), "w") as fh:
-        fh.write(format_block(block) + "\n")
-    with open(os.path.join(path, "report.json"), "w") as fh:
-        json.dump(
-            {
-                "schema": "repro-discrepancy/1",
-                "block": block.name,
-                "machine": machine.name,
-                "discrepancies": [
-                    {"invariant": d.invariant, "detail": d.detail}
-                    for d in discrepancies
-                ],
-                "schedules": schedules,
-                "curtail": options.curtail,
-                "brute_cap": brute_cap,
-            },
-            fh,
-            indent=2,
-        )
-        fh.write("\n")
+    # Atomic writes: a discrepancy report is exactly what someone will
+    # pore over after a crash, so it must never itself be torn.
+    atomic_write_json(os.path.join(path, "machine.json"), machine_to_dict(machine))
+    atomic_write_text(os.path.join(path, "block.txt"), format_block(block) + "\n")
+    atomic_write_json(
+        os.path.join(path, "report.json"),
+        {
+            "schema": "repro-discrepancy/1",
+            "block": block.name,
+            "machine": machine.name,
+            "discrepancies": [
+                {"invariant": d.invariant, "detail": d.detail}
+                for d in discrepancies
+            ],
+            "schedules": schedules,
+            "curtail": options.curtail,
+            "brute_cap": brute_cap,
+        },
+    )
     return path
 
 

@@ -132,11 +132,11 @@ class TestFallback:
     def test_broken_pool_falls_back_to_serial(
         self, serial_records, monkeypatch
     ):
-        class ExplodingPool:
+        class ExplodingProcess:
             def __init__(self, *args, **kwargs):
                 raise OSError("no process support in this sandbox")
 
-        monkeypatch.setattr(parallel, "ProcessPoolExecutor", ExplodingPool)
+        monkeypatch.setattr(parallel, "Process", ExplodingProcess)
         telemetry = Telemetry()
         par = run_population_parallel(
             N_BLOCKS, curtail=CURTAIL, master_seed=SEED, workers=4,
