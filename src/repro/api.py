@@ -1,0 +1,158 @@
+"""repro.api — the supported programmatic surface, in one flat module.
+
+Downstream code should import from here rather than reaching into
+submodules; names in :data:`__all__` are the compatibility contract
+(pinned by ``tests/test_api_surface.py``), everything else in the
+package is internal and may move without notice.
+
+The groups:
+
+- **Compiling** — :func:`compile_source` / :func:`compile_program`
+  drive the whole Figure-2 back end; :func:`compile_block` schedules an
+  already-built tuple block.
+- **IR** — the tuple form (:class:`IRTuple`, :class:`BasicBlock`,
+  :class:`DependenceDAG`) and the paper's linear notation
+  (:func:`parse_block` / :func:`format_block`).
+- **Machines** — :class:`MachineDescription` plus the paper's preset
+  tables (:func:`get_machine`, :data:`PRESETS`) and the on-disk format
+  (:func:`load_machine` / :func:`save_machine`,
+  :func:`machine_to_dict` / :func:`machine_from_dict`).
+- **Scheduling** — :func:`schedule_block` (the branch-and-bound search
+  behind :class:`SearchOptions` / :class:`SearchResult`),
+  :func:`list_schedule`, and :func:`compute_timing` (the Ω procedure).
+- **Verification** — :func:`check_schedule`, the independent
+  certificate checker.
+- **Service** — the canonical-form result cache
+  (:class:`ScheduleCache`, :func:`fingerprint_problem`) and the batch
+  scheduling daemon's client (:class:`ServiceClient`); see
+  :mod:`repro.service`.
+- **Telemetry** — :class:`Telemetry`, the counters/phase-timer sink
+  every entry point threads through.
+
+Quick start::
+
+    from repro.api import compile_source, get_machine
+    result = compile_source("b = 15; a = b * a;", get_machine("paper-simulation"))
+    print(result.assembly)
+
+Caching searches::
+
+    from repro.api import ScheduleCache, SearchOptions, get_machine, parse_block
+    from repro.ir import DependenceDAG
+
+    cache = ScheduleCache(path="/var/cache/repro-schedules")
+    block = parse_block("1: Load #a\\n2: Mul 1, 1\\n3: Store #a, 2")
+    result = cache.schedule(DependenceDAG(block), get_machine("paper-simulation"),
+                            SearchOptions())
+"""
+
+from __future__ import annotations
+
+from . import __version__
+from .driver import (
+    CompilationResult,
+    ProgramCompilation,
+    VerificationError,
+    compile_block,
+    compile_program,
+    compile_source,
+    verify_compilation,
+    verify_program,
+)
+from .ir import (
+    BasicBlock,
+    DependenceDAG,
+    IRTuple,
+    Opcode,
+    format_block,
+    parse_block,
+    run_block,
+)
+from .machine import (
+    MachineDescription,
+    PipelineDesc,
+    get_machine,
+    paper_example_machine,
+    paper_simulation_machine,
+)
+from .machine.presets import PRESETS
+from .machine.serialize import (
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+    save_machine,
+)
+from .sched import (
+    InitialConditions,
+    SearchOptions,
+    SearchResult,
+    compute_timing,
+    list_schedule,
+    schedule_block,
+)
+from .service import (
+    CacheIntegrityError,
+    CanonicalForm,
+    ScheduleCache,
+    SchedulingService,
+    ServiceClient,
+    ServiceClientError,
+    ServiceError,
+    create_server,
+    fingerprint_problem,
+)
+from .telemetry import Telemetry
+from .verify.certificate import check_schedule
+
+__all__ = [
+    # compiling
+    "CompilationResult",
+    "ProgramCompilation",
+    "VerificationError",
+    "compile_block",
+    "compile_program",
+    "compile_source",
+    "verify_compilation",
+    "verify_program",
+    # IR
+    "BasicBlock",
+    "DependenceDAG",
+    "IRTuple",
+    "Opcode",
+    "format_block",
+    "parse_block",
+    "run_block",
+    # machines
+    "MachineDescription",
+    "PipelineDesc",
+    "PRESETS",
+    "get_machine",
+    "paper_example_machine",
+    "paper_simulation_machine",
+    "load_machine",
+    "save_machine",
+    "machine_from_dict",
+    "machine_to_dict",
+    # scheduling
+    "InitialConditions",
+    "SearchOptions",
+    "SearchResult",
+    "compute_timing",
+    "list_schedule",
+    "schedule_block",
+    # verification
+    "check_schedule",
+    # service
+    "CacheIntegrityError",
+    "CanonicalForm",
+    "ScheduleCache",
+    "SchedulingService",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "create_server",
+    "fingerprint_problem",
+    # telemetry
+    "Telemetry",
+    "__version__",
+]

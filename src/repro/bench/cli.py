@@ -17,18 +17,25 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from ..experiments.runner import DEFAULT_CURTAIL
 from ..ioutil import atomic_write_json
 from .hot_core import run_bench
 
 
-def build_parser() -> argparse.ArgumentParser:
+def build_parser(prog: str = "repro-bench") -> argparse.ArgumentParser:
+    from ..cliutil import common_flags
+
     parser = argparse.ArgumentParser(
-        prog="repro-bench",
+        prog=prog,
         description=(
             "Benchmark the fast search engine against the reference "
             "(identical results enforced, schedules certified)."
         ),
+        parents=[
+            common_flags(
+                ("seed", "curtail"),
+                overrides={"seed": dict(help="population master seed")},
+            )
+        ],
     )
     parser.add_argument(
         "--blocks",
@@ -38,15 +45,6 @@ def build_parser() -> argparse.ArgumentParser:
             "synthetic blocks to schedule (default: the REPRO_SCALE-sized "
             "population, 2000 at the default scale 0.125)"
         ),
-    )
-    parser.add_argument(
-        "--seed", type=int, default=1990, help="population master seed"
-    )
-    parser.add_argument(
-        "--curtail",
-        type=int,
-        default=DEFAULT_CURTAIL,
-        help="curtail point lambda for both engines",
     )
     parser.add_argument(
         "--repeats",
@@ -72,8 +70,8 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def main(argv: Optional[Sequence[str]] = None, prog: str = "repro-bench") -> int:
+    args = build_parser(prog).parse_args(argv)
     try:
         payload, failures = run_bench(
             blocks=args.blocks,

@@ -111,11 +111,24 @@ def _certify_program(compiled, machine) -> int:
     return 0
 
 
-def build_parser() -> argparse.ArgumentParser:
+def build_parser(prog: str = "repro-compile") -> argparse.ArgumentParser:
+    from .cliutil import common_flags
+
     parser = argparse.ArgumentParser(
-        prog="repro-compile",
+        prog=prog,
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
+        parents=[
+            common_flags(
+                ("curtail", "engine", "stats-json"),
+                overrides={
+                    "stats-json": dict(
+                        help="write search telemetry (prune counters, "
+                        "phase times) to PATH as JSON"
+                    ),
+                },
+            )
+        ],
     )
     parser.add_argument(
         "source", nargs="?", help="source file ('-' for stdin)"
@@ -145,17 +158,6 @@ def build_parser() -> argparse.ArgumentParser:
         "pressure-constrained search)",
     )
     parser.add_argument(
-        "--curtail", type=int, default=SearchOptions().curtail, metavar="LAMBDA",
-        help="search curtail point (omega-call budget)",
-    )
-    parser.add_argument(
-        "--engine",
-        choices=("fast", "reference"),
-        default="fast",
-        help="search engine: the flattened array core (fast) or the "
-        "recursive reference — bit-for-bit identical results",
-    )
-    parser.add_argument(
         "--no-optimize", action="store_true", help="skip the classical optimizer"
     )
     parser.add_argument(
@@ -179,18 +181,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "-o", "--output", default=None, help="write assembly to a file"
     )
-    parser.add_argument(
-        "--stats-json",
-        metavar="PATH",
-        default=None,
-        help="write search telemetry (prune counters, phase times) to "
-        "PATH as JSON",
-    )
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = build_parser()
+def main(argv: Optional[List[str]] = None, prog: str = "repro-compile") -> int:
+    parser = build_parser(prog)
     args = parser.parse_args(argv)
 
     if args.list_machines:

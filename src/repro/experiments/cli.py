@@ -50,7 +50,7 @@ from . import (
     table7,
 )
 from .parallel import run_population_parallel
-from .runner import DEFAULT_CURTAIL, population_size
+from .runner import population_size
 
 #: Experiments that share the single population run.
 POPULATION_EXPERIMENTS = ("table7", "fig1", "fig4", "fig5", "fig6", "fig7")
@@ -71,11 +71,33 @@ def _write_csv(directory: str, name: str, text: str) -> None:
     atomic_write_text(os.path.join(directory, f"{name}.csv"), text)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def build_parser(prog: str = "repro-experiments") -> argparse.ArgumentParser:
+    from ..cliutil import common_flags
+
     parser = argparse.ArgumentParser(
-        prog="repro-experiments",
+        prog=prog,
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
+        parents=[
+            common_flags(
+                (
+                    "curtail",
+                    "seed",
+                    "engine",
+                    "verify",
+                    "stats-json",
+                    "block-timeout",
+                    "run-timeout",
+                    "run-omega-budget",
+                ),
+                overrides={
+                    "stats-json": dict(
+                        help="write aggregated search telemetry (prune "
+                        "counters, phase times) to PATH as JSON"
+                    ),
+                },
+            )
+        ],
     )
     parser.add_argument(
         "experiments",
@@ -91,21 +113,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default: 16000 * REPRO_SCALE)",
     )
     parser.add_argument(
-        "--curtail",
-        type=int,
-        default=DEFAULT_CURTAIL,
-        help=f"search curtail point lambda (default {DEFAULT_CURTAIL:,})",
-    )
-    parser.add_argument("--seed", type=int, default=1990, help="master seed")
-    parser.add_argument(
-        "--engine",
-        choices=("fast", "reference"),
-        default="fast",
-        help="search engine for the population run: the flattened array "
-        "core (fast) or the recursive reference — bit-for-bit identical "
-        "results",
-    )
-    parser.add_argument(
         "--csv", metavar="DIR", default=None, help="also write CSVs to DIR"
     )
     parser.add_argument(
@@ -115,28 +122,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="N",
         help="schedule the population across N worker processes "
         "(0 = all cores; default: REPRO_WORKERS or 1)",
-    )
-    parser.add_argument(
-        "--block-timeout",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="per-block wall-clock budget; blocks over budget degrade to "
-        "their list-schedule seed instead of stalling the run",
-    )
-    parser.add_argument(
-        "--verify",
-        action="store_true",
-        help="re-derive every published schedule through the independent "
-        "certificate checker (repro.verify); any Ω-accounting mismatch "
-        "aborts the run",
-    )
-    parser.add_argument(
-        "--stats-json",
-        metavar="PATH",
-        default=None,
-        help="write aggregated search telemetry (prune counters, phase "
-        "times) to PATH as JSON",
     )
     parser.add_argument(
         "--journal",
@@ -154,21 +139,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scheduled; new records keep appending to PATH",
     )
     parser.add_argument(
-        "--run-timeout",
-        type=float,
+        "--cache",
+        metavar="DIR",
         default=None,
-        metavar="SECONDS",
-        help="run-level wall-clock budget for the population pass; blocks "
-        "past the deadline degrade down the ladder (split windows, then "
-        "list seeds) instead of overrunning",
-    )
-    parser.add_argument(
-        "--run-omega-budget",
-        type=int,
-        default=None,
-        metavar="CALLS",
-        help="run-level Ω-call budget for the population pass; once spent, "
-        "remaining blocks publish their list-schedule seeds",
+        help="canonical-form result store (repro.service): population "
+        "blocks whose problem was already solved — this run, an earlier "
+        "run, or the scheduling daemon sharing DIR — are served from the "
+        "cache, bit-for-bit identical to a cold search",
     )
     parser.add_argument(
         "--chaos",
@@ -178,6 +155,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "'crash=0.1,hang=0.05,seed=7' (testing the supervisor; see "
         "repro.resilience.faults)",
     )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, prog: str = "repro-experiments") -> int:
+    parser = build_parser(prog)
     args = parser.parse_args(argv)
 
     wanted = list(args.experiments)
@@ -221,6 +203,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         except ValueError as exc:
             parser.error(str(exc))
+    cache = None
+    if args.cache:
+        from ..service.cache import ScheduleCache
+
+        cache = ScheduleCache(path=args.cache)
 
     telemetry = Telemetry()
     results = {}
@@ -299,8 +286,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                     on_records=None if journal is None else journal.append,
                     budget=budget,
                     fault_plan=fault_plan,
+                    cache=cache,
                 )
-            print(f"[population] done in {time.perf_counter() - start:.1f}s\n")
+            print(f"[population] done in {time.perf_counter() - start:.1f}s", end="")
+            if cache is not None:
+                hits = telemetry.counters.get("service.cache.hits", 0)
+                misses = telemetry.counters.get("service.cache.misses", 0)
+                bypass = telemetry.counters.get("service.cache.bypass", 0)
+                print(
+                    f" (cache: {hits:,} hits, {misses:,} misses, "
+                    f"{bypass:,} bypassed)",
+                    end="",
+                )
+            print("\n")
     except JournalError as exc:
         print(f"repro-experiments: error: {exc}", file=sys.stderr)
         return 2

@@ -115,6 +115,7 @@ def _chunk_worker(
     verify: bool,
     budget: Optional[BudgetManager],
     fault_plan: Optional[FaultPlan],
+    cache=None,
 ) -> None:
     """Worker entry point: schedule one parameter chunk.
 
@@ -154,6 +155,7 @@ def _chunk_worker(
                     block_timeout,
                     verify,
                     budget=budget,
+                    cache=cache,
                 )
             )
             conn.send(("hb", chunk_id, k))
@@ -203,6 +205,7 @@ def run_population_parallel(
     budget: Optional[BudgetManager] = None,
     supervisor: Optional[SupervisorConfig] = None,
     fault_plan: Optional[FaultPlan] = None,
+    cache=None,
 ) -> List[BlockRecord]:
     """Schedule ``n_blocks`` synthetic blocks across supervised workers.
 
@@ -228,6 +231,10 @@ def run_population_parallel(
       granularity (workers cannot see each other's spend).
     * ``supervisor`` — heartbeat/retry/poison policy knobs.
     * ``fault_plan`` — deterministic fault injection for chaos tests.
+    * ``cache`` — a :class:`repro.service.cache.ScheduleCache`; each
+      worker re-opens the same disk store (the pickle form carries only
+      the store path), so canonical forms solved by any worker — or any
+      earlier run — are served instead of re-searched.
     """
     if workers is None:
         workers = default_workers()
@@ -256,6 +263,7 @@ def run_population_parallel(
                 None if on_records is None else (lambda r: on_records([r]))
             ),
             budget=budget,
+            cache=cache,
         )
 
     if workers <= 1 or n_blocks <= 1:
@@ -289,6 +297,7 @@ def run_population_parallel(
                 budget,
                 supervisor,
                 fault_plan,
+                cache,
             )
         except (OSError, PermissionError, RuntimeError):
             # Worker processes cannot be stood up (restricted sandbox,
@@ -327,6 +336,7 @@ def _run_supervised(
     budget: Optional[BudgetManager],
     config: SupervisorConfig,
     fault_plan: Optional[FaultPlan],
+    cache=None,
 ) -> List[BlockRecord]:
     """Drive the chunk fleet to completion under supervision.
 
@@ -395,6 +405,7 @@ def _run_supervised(
                         verify,
                         budget,
                         fault_plan,
+                        cache,
                     ),
                     daemon=True,
                 )

@@ -33,8 +33,8 @@ from ..resilience.budget import (
     BudgetManager,
 )
 from ..sched.list_scheduler import list_schedule, program_order
-from ..sched.nop_insertion import compute_timing
-from ..sched.search import SearchOptions, schedule_block
+from ..sched.nop_insertion import ScheduleTiming, compute_timing
+from ..sched.search import SearchOptions, SearchResult, schedule_block
 from ..sched.splitting import schedule_block_split
 from ..synth.generator import GeneratedBlock
 from ..synth.population import (
@@ -159,6 +159,89 @@ def list_seed_record(
     )
 
 
+@dataclass(frozen=True)
+class LadderOutcome:
+    """What one trip down the degradation ladder published.
+
+    ``result`` is the raw search outcome; ``timing``/``final_nops`` are
+    what the chosen rung actually publishes (the search incumbent, the
+    split-windows schedule, or the list seed).  ``cache_status`` is the
+    cache provenance (``"hit"``/``"miss"``/``"bypass"``) when a
+    :class:`repro.service.cache.ScheduleCache` drove the search, else
+    ``None``.
+    """
+
+    result: SearchResult
+    timing: ScheduleTiming
+    final_nops: int
+    omega_calls: int
+    ladder: str
+    degraded: bool
+    cache_status: Optional[str] = None
+
+
+def ladder_schedule(
+    dag: DependenceDAG,
+    machine: MachineDescription,
+    options: SearchOptions,
+    telemetry: Optional[Telemetry] = None,
+    budget: Optional[BudgetManager] = None,
+    cache=None,
+) -> LadderOutcome:
+    """Search one block and walk the degradation ladder on a timeout.
+
+    The shared per-block step behind :func:`schedule_generated_block`
+    and the batch scheduling daemon (:mod:`repro.service.server`): run
+    the branch-and-bound (through ``cache`` when given — a
+    :class:`repro.service.cache.ScheduleCache` — so solved canonical
+    forms are served instead of recomputed), and degrade a
+    deadline-truncated search to the split-windows schedule (when
+    ``budget`` enables it and it beats the seed) or the list seed.
+    """
+    if cache is not None:
+        result, cache_status = cache.schedule_with_status(
+            dag, machine, options, telemetry=telemetry
+        )
+    else:
+        result = schedule_block(dag, machine, options, telemetry=telemetry)
+        cache_status = None
+    # Deadline-truncated searches degrade: the incumbent they stopped on
+    # depends on wall clock, the fallback rungs below do not.
+    degraded = result.timed_out
+    omega_calls = result.omega_calls
+    if not degraded:
+        ladder = STEP_OPTIMAL if result.completed else STEP_CURTAILED
+        timing = result.best
+        final_nops = result.final_nops
+    else:
+        ladder = STEP_LIST_SEED
+        timing = result.initial
+        final_nops = result.initial_nops
+        if budget is not None and budget.split_fallback and len(dag) > 1:
+            split = schedule_block_split(
+                dag,
+                machine,
+                window=budget.split_window,
+                curtail_per_window=budget.split_curtail,
+                telemetry=telemetry,
+                engine=options.engine,
+            )
+            omega_calls += split.omega_calls
+            if split.total_nops < result.initial_nops:
+                ladder = STEP_SPLIT
+                timing = split.timing
+                final_nops = split.total_nops
+    return LadderOutcome(
+        result=result,
+        timing=timing,
+        final_nops=final_nops,
+        omega_calls=omega_calls,
+        ladder=ladder,
+        degraded=degraded,
+        cache_status=cache_status,
+    )
+
+
 def schedule_generated_block(
     index: int,
     gb: GeneratedBlock,
@@ -168,6 +251,7 @@ def schedule_generated_block(
     block_timeout: Optional[float] = None,
     verify: bool = False,
     budget: Optional[BudgetManager] = None,
+    cache=None,
 ) -> BlockRecord:
     """Schedule one population member and build its record.
 
@@ -194,6 +278,13 @@ def schedule_generated_block(
     shares no code with the schedulers) and raises
     :class:`VerificationError` on any mismatch — an Ω-accounting bug in
     the search can then never silently contaminate the experiment data.
+
+    ``cache`` is an optional :class:`repro.service.cache.ScheduleCache`:
+    blocks whose canonical form was already solved (this run or any
+    earlier run sharing the store) are served from it, bit-for-bit
+    identical to a cold search.  Searches running under a wall-clock
+    ``block_timeout`` bypass the cache (the outcome is not a pure
+    function of the problem), so records stay byte-identical either way.
     """
     block = gb.block
     if len(block) == 0:
@@ -214,53 +305,29 @@ def schedule_generated_block(
     dag = DependenceDAG(block)
     initial = compute_timing(dag, program_order(dag), machine)
     start = time.perf_counter()
-    result = schedule_block(dag, machine, options, telemetry=telemetry)
-    # Deadline-truncated searches degrade: the incumbent they stopped on
-    # depends on wall clock, the fallback rungs below do not.
-    degraded = result.timed_out
-    omega_calls = result.omega_calls
-    if not degraded:
-        ladder = STEP_OPTIMAL if result.completed else STEP_CURTAILED
-        timing = result.best
-        final_nops = result.final_nops
-    else:
-        ladder = STEP_LIST_SEED
-        timing = result.initial
-        final_nops = result.initial_nops
-        if budget is not None and budget.split_fallback and len(block) > 1:
-            split = schedule_block_split(
-                dag,
-                machine,
-                window=budget.split_window,
-                curtail_per_window=budget.split_curtail,
-                telemetry=telemetry,
-                engine=options.engine,
-            )
-            omega_calls += split.omega_calls
-            if split.total_nops < result.initial_nops:
-                ladder = STEP_SPLIT
-                timing = split.timing
-                final_nops = split.total_nops
+    out = ladder_schedule(
+        dag, machine, options, telemetry=telemetry, budget=budget, cache=cache
+    )
     elapsed = time.perf_counter() - start
     if budget is not None:
-        budget.charge(omega_calls)
+        budget.charge(out.omega_calls)
     if telemetry is not None:
-        if degraded:
+        if out.degraded:
             telemetry.count("blocks.degraded")
-        telemetry.count(f"resilience.ladder.{ladder}")
+        telemetry.count(f"resilience.ladder.{out.ladder}")
     if verify:
-        _verify_record(block, dag, machine, timing, final_nops, telemetry)
+        _verify_record(block, dag, machine, out.timing, out.final_nops, telemetry)
     return BlockRecord(
         index=index,
         size=len(block),
         statements=gb.statements,
         initial_nops=initial.total_nops,
-        seed_nops=result.initial_nops,
-        final_nops=final_nops,
-        omega_calls=omega_calls,
-        completed=result.completed and not degraded,
-        degraded=degraded,
-        ladder=ladder,
+        seed_nops=out.result.initial_nops,
+        final_nops=out.final_nops,
+        omega_calls=out.omega_calls,
+        completed=out.result.completed and not out.degraded,
+        degraded=out.degraded,
+        ladder=out.ladder,
         elapsed_seconds=elapsed,
     )
 
@@ -311,6 +378,7 @@ def run_population(
     done: Optional[Mapping[int, BlockRecord]] = None,
     on_record: Optional[Callable[[BlockRecord], None]] = None,
     budget: Optional[BudgetManager] = None,
+    cache=None,
 ) -> List[BlockRecord]:
     """Schedule ``n_blocks`` synthetic blocks; one record per block.
 
@@ -333,6 +401,9 @@ def run_population(
     * ``budget`` — a started :class:`BudgetManager` enforcing run-level
       wall-clock/Ω budgets and per-block clamps, enabling the
       split-windows ladder rung (see :func:`schedule_generated_block`).
+    * ``cache`` — a :class:`repro.service.cache.ScheduleCache`; blocks
+      whose canonical form is already in the (possibly shared, possibly
+      disk-backed) store are served from it instead of re-searched.
     """
     if machine is None:
         machine = paper_simulation_machine()
@@ -360,6 +431,7 @@ def run_population(
             block_timeout,
             verify,
             budget=budget,
+            cache=cache,
         )
         records.append(record)
         if on_record is not None:

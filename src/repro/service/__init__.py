@@ -1,0 +1,31 @@
+"""Scheduling as a service: canonical-form result cache + batch daemon.
+
+Layers:
+
+* :mod:`repro.service.fingerprint` — a label-free canonical form of one
+  (block, machine, options) scheduling problem, hashed into a stable
+  cache key under which isomorphic problems collide.
+* :mod:`repro.service.cache` — :class:`ScheduleCache`, a two-tier
+  (in-process LRU over a disk-backed, fsync'd store) memo of full
+  ``SearchResult``s, certificate-verified on insert.
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  ``repro serve`` batch daemon speaking the ``repro-service/1`` JSON
+  protocol, and its client.
+"""
+
+from .cache import CacheIntegrityError, ScheduleCache
+from .client import ServiceClient, ServiceClientError
+from .fingerprint import CanonicalForm, fingerprint_problem
+from .server import SchedulingService, ServiceError, create_server
+
+__all__ = [
+    "CanonicalForm",
+    "fingerprint_problem",
+    "ScheduleCache",
+    "CacheIntegrityError",
+    "SchedulingService",
+    "ServiceError",
+    "create_server",
+    "ServiceClient",
+    "ServiceClientError",
+]

@@ -1,0 +1,165 @@
+"""Command-line entry point: ``repro serve`` (the scheduling daemon).
+
+Examples::
+
+    repro serve --port 8123 --cache ~/.cache/repro-schedules
+    repro serve --unix /tmp/repro.sock --curtail 10000
+    repro serve --port 0 --ready-file ready.json   # ephemeral port; the
+                                                   # bound URL lands in
+                                                   # ready.json
+
+The daemon answers ``POST /v1/schedule`` batches and ``GET /v1/health``
+(schema ``repro-service/1``; see docs/file-formats.md).  ``--cache DIR``
+makes the canonical-form result store durable and shareable with
+``repro experiments --cache DIR``; without it the cache is in-process
+only; ``--no-cache`` disables memoization entirely.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from ..cliutil import common_flags
+from ..ioutil import atomic_write_json
+from ..resilience.budget import BudgetManager
+from ..sched.search import SearchOptions
+from ..telemetry import Telemetry
+from .cache import ScheduleCache
+from .server import SchedulingService, create_server
+
+
+def build_parser(prog: str = "repro-serve") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        parents=[
+            common_flags(
+                (
+                    "engine",
+                    "curtail",
+                    "stats-json",
+                    "block-timeout",
+                    "run-timeout",
+                    "run-omega-budget",
+                )
+            )
+        ],
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="TCP bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=0, metavar="N",
+        help="TCP port; 0 (default) binds an ephemeral port (see --ready-file)",
+    )
+    parser.add_argument(
+        "--unix", metavar="PATH", default=None,
+        help="serve on a unix-domain socket at PATH instead of TCP",
+    )
+    parser.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="disk-backed canonical-form result store (shared with "
+        "repro experiments --cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable result memoization entirely",
+    )
+    parser.add_argument(
+        "--memory-entries", type=int, default=4096, metavar="N",
+        help="in-process LRU capacity (default 4096)",
+    )
+    parser.add_argument(
+        "--no-insert-verify", action="store_true",
+        help="skip the independent certificate check on cache insert",
+    )
+    parser.add_argument(
+        "--ready-file", metavar="PATH", default=None,
+        help="write {url, pid} JSON to PATH once the socket is bound "
+        "(how scripts find an ephemeral port)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, prog: str = "repro-serve") -> int:
+    parser = build_parser(prog)
+    args = parser.parse_args(argv)
+
+    if args.no_cache and args.cache:
+        parser.error("--no-cache and --cache are mutually exclusive")
+    if args.unix and args.port:
+        parser.error("--unix and --port are mutually exclusive")
+
+    cache = None
+    if not args.no_cache:
+        cache = ScheduleCache(
+            path=args.cache,
+            memory_entries=args.memory_entries,
+            verify_on_insert=not args.no_insert_verify,
+        )
+    budget = None
+    if args.run_timeout is not None or args.run_omega_budget is not None:
+        try:
+            budget = BudgetManager(
+                run_wall_clock=args.run_timeout,
+                run_omega_cap=args.run_omega_budget,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    telemetry = Telemetry()
+    service = SchedulingService(
+        cache=cache,
+        options=SearchOptions(curtail=args.curtail, engine=args.engine),
+        budget=budget,
+        block_timeout=args.block_timeout,
+        telemetry=telemetry,
+    )
+    try:
+        server, url = create_server(
+            service, host=args.host, port=args.port, unix_path=args.unix
+        )
+    except OSError as exc:
+        print(f"{prog}: cannot bind: {exc}", file=sys.stderr)
+        return 2
+
+    if args.ready_file:
+        atomic_write_json(args.ready_file, {"url": url, "pid": os.getpid()})
+    store = cache.path if cache is not None and cache.path else (
+        "memory" if cache is not None else "off"
+    )
+    print(f"[serve] listening on {url} (cache: {store})", flush=True)
+
+    def write_stats() -> None:
+        if args.stats_json:
+            telemetry.write_json(
+                args.stats_json,
+                meta={"url": url, "curtail": args.curtail, "engine": args.engine},
+            )
+            print(f"[stats] telemetry written to {args.stats_json}")
+
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        print(f"\n{prog}: interrupted", file=sys.stderr)
+        write_stats()
+        return 130
+    finally:
+        server.server_close()
+        if args.unix:
+            try:
+                os.unlink(args.unix)
+            except OSError:
+                pass
+    write_stats()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Client for the batch scheduling daemon (``repro serve``).
+
+Speaks the ``repro-service/1`` JSON protocol over localhost TCP or a
+unix-domain socket::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8123")
+    reply = client.schedule([block], "paper-simulation")
+    reply["entries"][0]["cache"]        # "hit" | "miss" | "bypass"
+
+Blocks may be :class:`repro.ir.BasicBlock` instances (formatted through
+the linear tuple notation) or already-formatted tuple text; the machine
+a preset name or a :class:`repro.machine.MachineDescription`.  Errors
+the server answers with HTTP 4xx/5xx raise :class:`ServiceClientError`
+carrying the server's message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..ir.block import BasicBlock
+from ..ir.textual import format_block
+from ..machine.machine import MachineDescription
+from ..machine.serialize import machine_to_dict
+from .server import SCHEMA
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(RuntimeError):
+    """The server refused or failed a request."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """An HTTPConnection whose transport is a unix-domain socket."""
+
+    def __init__(self, path: str, timeout: Optional[float] = None):
+        super().__init__("localhost", timeout=timeout)
+        self._unix_path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self._unix_path)
+        self.sock = sock
+
+
+class ServiceClient:
+    """Blocking JSON client for one ``repro serve`` endpoint."""
+
+    def __init__(self, url: str, timeout: Optional[float] = 60.0):
+        self.url = url
+        self.timeout = timeout
+        if url.startswith("unix://"):
+            self._unix_path: Optional[str] = url[len("unix://"):]
+            self._netloc = None
+        elif url.startswith("http://"):
+            self._unix_path = None
+            self._netloc = url[len("http://"):].rstrip("/")
+        else:
+            raise ValueError(
+                f"unsupported service url {url!r} (want http://host:port "
+                "or unix:///path/to.sock)"
+            )
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._unix_path is not None:
+            return _UnixHTTPConnection(self._unix_path, timeout=self.timeout)
+        return http.client.HTTPConnection(self._netloc, timeout=self.timeout)
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        conn = self._connection()
+        try:
+            body = None if payload is None else json.dumps(payload).encode("utf-8")
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read().decode("utf-8", errors="replace")
+            try:
+                data = json.loads(raw)
+            except json.JSONDecodeError:
+                data = {"error": raw.strip() or "empty response"}
+            if response.status != 200:
+                raise ServiceClientError(
+                    response.status, str(data.get("error", raw))
+                )
+            return data
+        finally:
+            conn.close()
+
+    # -- protocol ------------------------------------------------------
+    def schedule(
+        self,
+        blocks: Sequence[Union[BasicBlock, str]],
+        machine: Union[str, MachineDescription],
+        options: Optional[Dict[str, Any]] = None,
+        names: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Any]:
+        """Schedule a batch; returns the decoded ``repro-service/1`` reply."""
+        specs: List[Dict[str, str]] = []
+        for i, b in enumerate(blocks):
+            if isinstance(b, BasicBlock):
+                name = b.name
+                text = format_block(b)
+            else:
+                name = f"block{i}"
+                text = str(b)
+            if names is not None:
+                name = names[i]
+            specs.append({"name": name, "tuples": text})
+        payload: Dict[str, Any] = {
+            "schema": SCHEMA,
+            "machine": (
+                machine
+                if isinstance(machine, str)
+                else machine_to_dict(machine)
+            ),
+            "blocks": specs,
+        }
+        if options is not None:
+            payload["options"] = options
+        return self._request("POST", "/v1/schedule", payload)
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/health")

@@ -1,0 +1,373 @@
+"""The batch scheduling daemon — ``repro serve``.
+
+A long-lived process that accepts batches of basic blocks plus a machine
+description over HTTP (localhost TCP or a unix-domain socket), schedules
+them through the fast branch-and-bound engine, and answers with the
+schedules plus per-entry provenance: whether each block was served from
+the canonical-form cache (:mod:`repro.service.cache`) and which rung of
+the PR 4 degradation ladder published it.
+
+Wire protocol (versioned ``repro-service/1``; see docs/file-formats.md):
+
+``POST /v1/schedule``::
+
+    {
+      "schema": "repro-service/1",
+      "machine": "paper-simulation" | {machine_to_dict payload},
+      "blocks": [{"name": "dot", "tuples": "1: Load #a\\n..."}, ...],
+      "options": {"curtail": 50000, "engine": "fast", "max_live": null}
+    }
+
+answers ``200`` with one entry per block (same order)::
+
+    {
+      "schema": "repro-service/1",
+      "machine": "paper-simulation",
+      "entries": [
+        {"index": 0, "name": "dot", "order": [...], "etas": [...],
+         "issue_times": [...], "total_nops": 2, "seed_nops": 4,
+         "omega_calls": 37, "completed": true, "degraded": false,
+         "ladder": "optimal-search", "cache": "hit"},
+        ...
+      ],
+      "stats": {"hits": 1, "misses": 0, "bypass": 0}
+    }
+
+or ``400`` with ``{"error": "..."}`` for malformed requests (bad schema,
+unparseable tuples, unknown machine/option, non-deterministic machine).
+``GET /v1/health`` reports liveness and the cache counters.
+
+Batches are deduplicated *through* the cache: the first occurrence of a
+canonical form is scheduled and stored, every later occurrence — in the
+same batch, a later batch, or a population run sharing the same disk
+store — is a hit.  Misses run under the server's
+:class:`repro.resilience.budget.BudgetManager` clamps, so one
+pathological block degrades down the ladder instead of wedging the
+daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..experiments.runner import ladder_schedule
+from ..ir.dag import DependenceDAG
+from ..ir.textual import TupleSyntaxError, parse_block
+from ..machine.machine import MachineDescription, MachineValidationError
+from ..machine.presets import get_machine
+from ..machine.serialize import machine_from_dict
+from ..resilience.budget import STEP_LIST_SEED, BudgetManager
+from ..sched.list_scheduler import list_schedule
+from ..sched.nop_insertion import compute_timing
+from ..sched.search import SearchOptions
+from ..telemetry import Telemetry
+from .cache import BYPASS, ScheduleCache
+
+__all__ = ["SCHEMA", "ServiceError", "SchedulingService", "create_server"]
+
+#: Version tag of the request/response payloads.
+SCHEMA = "repro-service/1"
+
+#: ``options`` keys a request may override.  Everything else is pinned
+#: by the server's configuration — clients tune the *problem*, not the
+#: daemon's resource policy.
+_REQUEST_OPTIONS = ("curtail", "engine", "max_live")
+
+#: Request size cap (16 MiB): a stray client cannot OOM the daemon.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class ServiceError(ValueError):
+    """A malformed request (answered with HTTP 400)."""
+
+
+class SchedulingService:
+    """The protocol logic, separated from HTTP plumbing for testing."""
+
+    def __init__(
+        self,
+        cache: Optional[ScheduleCache] = None,
+        options: SearchOptions = SearchOptions(),
+        budget: Optional[BudgetManager] = None,
+        block_timeout: Optional[float] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.cache = cache
+        self.options = options
+        self.budget = budget
+        self.block_timeout = block_timeout
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        # One lock serializes scheduling: Telemetry and BudgetManager are
+        # plain mutable objects, and the searches are CPU-bound anyway —
+        # threads exist to keep health checks responsive, not for search
+        # parallelism.
+        self._lock = threading.Lock()
+        if budget is not None:
+            budget.start()
+
+    # -- request handling ----------------------------------------------
+    def _resolve_machine(self, spec: Any) -> MachineDescription:
+        if isinstance(spec, str):
+            try:
+                machine = get_machine(spec)
+            except KeyError as exc:
+                raise ServiceError(str(exc.args[0])) from None
+        elif isinstance(spec, dict):
+            try:
+                machine = machine_from_dict(spec)
+            except (MachineValidationError, ValueError) as exc:
+                raise ServiceError(f"bad machine payload: {exc}") from None
+        else:
+            raise ServiceError(
+                "machine must be a preset name or a machine description object"
+            )
+        if not machine.is_deterministic:
+            raise ServiceError(
+                f"machine {machine.name!r} is not deterministic; the "
+                "service schedules single-pipeline-per-op machines only"
+            )
+        return machine
+
+    def _resolve_options(self, overrides: Any) -> SearchOptions:
+        if overrides is None:
+            return self.options
+        if not isinstance(overrides, dict):
+            raise ServiceError("options must be an object")
+        unknown = sorted(set(overrides) - set(_REQUEST_OPTIONS))
+        if unknown:
+            raise ServiceError(
+                f"unknown options: {', '.join(unknown)} "
+                f"(requests may set {', '.join(_REQUEST_OPTIONS)})"
+            )
+        import dataclasses
+
+        try:
+            return dataclasses.replace(self.options, **overrides)
+        except (ValueError, TypeError) as exc:
+            raise ServiceError(f"bad options: {exc}") from None
+
+    def _parse_blocks(self, specs: Any) -> List[Tuple[str, Any]]:
+        if not isinstance(specs, list) or not specs:
+            raise ServiceError("blocks must be a non-empty list")
+        out = []
+        for i, spec in enumerate(specs):
+            if not isinstance(spec, dict) or "tuples" not in spec:
+                raise ServiceError(f"blocks[{i}] must be an object with 'tuples'")
+            name = spec.get("name") or f"block{i}"
+            try:
+                block = parse_block(str(spec["tuples"]), name=str(name))
+            except TupleSyntaxError as exc:
+                raise ServiceError(f"blocks[{i}] ({name}): {exc}") from None
+            out.append((str(name), block))
+        return out
+
+    def _seed_entry(self, index: int, name: str, dag, machine) -> Dict[str, Any]:
+        """Run budget exhausted: publish the list seed, skip the search."""
+        timing = compute_timing(dag, list_schedule(dag), machine)
+        self.telemetry.count("resilience.run_budget_exhausted")
+        self.telemetry.count(f"resilience.ladder.{STEP_LIST_SEED}")
+        return {
+            "index": index,
+            "name": name,
+            "order": list(timing.order),
+            "etas": list(timing.etas),
+            "issue_times": list(timing.issue_times),
+            "total_nops": timing.total_nops,
+            "seed_nops": timing.total_nops,
+            "omega_calls": 0,
+            "completed": False,
+            "degraded": True,
+            "ladder": STEP_LIST_SEED,
+            "cache": BYPASS,
+        }
+
+    def schedule_batch(self, payload: Any) -> Dict[str, Any]:
+        """Handle one ``POST /v1/schedule`` body (already JSON-decoded)."""
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        if payload.get("schema") != SCHEMA:
+            raise ServiceError(
+                f"unsupported schema {payload.get('schema')!r} (want {SCHEMA!r})"
+            )
+        machine = self._resolve_machine(payload.get("machine"))
+        options = self._resolve_options(payload.get("options"))
+        blocks = self._parse_blocks(payload.get("blocks"))
+        if self.block_timeout is not None:
+            import dataclasses
+
+            options = dataclasses.replace(options, time_limit=self.block_timeout)
+
+        entries: List[Dict[str, Any]] = []
+        stats = {"hits": 0, "misses": 0, "bypass": 0}
+        with self._lock:
+            for index, (name, block) in enumerate(blocks):
+                dag = DependenceDAG(block)
+                if (
+                    self.budget is not None
+                    and self.budget.run_exhausted() is not None
+                ):
+                    entries.append(self._seed_entry(index, name, dag, machine))
+                    stats["bypass"] += 1
+                    continue
+                block_options = (
+                    self.budget.options_for_block(options)
+                    if self.budget is not None
+                    else options
+                )
+                out = ladder_schedule(
+                    dag,
+                    machine,
+                    block_options,
+                    telemetry=self.telemetry,
+                    budget=self.budget,
+                    cache=self.cache,
+                )
+                if self.budget is not None:
+                    self.budget.charge(out.omega_calls)
+                self.telemetry.count(f"resilience.ladder.{out.ladder}")
+                status = out.cache_status if out.cache_status is not None else BYPASS
+                if out.cache_status is None:
+                    self.telemetry.count("service.cache.bypass")
+                stats[
+                    {"hit": "hits", "miss": "misses", "bypass": "bypass"}[status]
+                ] += 1
+                entries.append(
+                    {
+                        "index": index,
+                        "name": name,
+                        "order": list(out.timing.order),
+                        "etas": list(out.timing.etas),
+                        "issue_times": list(out.timing.issue_times),
+                        "total_nops": out.final_nops,
+                        "seed_nops": out.result.initial_nops,
+                        "omega_calls": out.omega_calls,
+                        "completed": out.result.completed and not out.degraded,
+                        "degraded": out.degraded,
+                        "ladder": out.ladder,
+                        "cache": status,
+                    }
+                )
+            self.telemetry.count("service.requests")
+            self.telemetry.count("service.blocks", len(blocks))
+        return {
+            "schema": SCHEMA,
+            "machine": machine.name,
+            "entries": entries,
+            "stats": stats,
+        }
+
+    def health(self) -> Dict[str, Any]:
+        with self._lock:
+            counters = {
+                name: n
+                for name, n in sorted(self.telemetry.counters.items())
+                if name.startswith("service.")
+            }
+        return {
+            "schema": SCHEMA,
+            "ok": True,
+            "cache": self.cache is not None,
+            "store": None if self.cache is None else self.cache.path,
+            "counters": counters,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """HTTP plumbing around a :class:`SchedulingService`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+    service: SchedulingService  # set by create_server
+    quiet = True
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def address_string(self) -> str:
+        # client_address is '' over AF_UNIX sockets.
+        host = self.client_address[0] if self.client_address else "unix"
+        return str(host) or "unix"
+
+    def _reply(self, code: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802
+        if self.path in ("/v1/health", "/health"):
+            self._reply(200, self.service.health())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path not in ("/v1/schedule", "/schedule"):
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._reply(400, {"error": "bad or oversized Content-Length"})
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._reply(400, {"error": f"bad JSON body: {exc}"})
+            return
+        try:
+            self._reply(200, self.service.schedule_batch(payload))
+        except ServiceError as exc:
+            self._reply(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._reply(500, {"error": f"internal error: {exc}"})
+
+
+class _UnixHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to a unix-domain socket."""
+
+    address_family = socket.AF_UNIX
+
+    def server_bind(self) -> None:
+        # HTTPServer.server_bind unpacks server_address as (host, port);
+        # over AF_UNIX it is a path string, so bind at the socketserver
+        # layer and fill the name fields in by hand.
+        try:
+            os.unlink(self.server_address)  # type: ignore[arg-type]
+        except OSError:
+            pass
+        import socketserver
+
+        socketserver.TCPServer.server_bind(self)
+        self.server_name = str(self.server_address)
+        self.server_port = 0
+
+
+def create_server(
+    service: SchedulingService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    unix_path: Optional[str] = None,
+) -> Tuple[ThreadingHTTPServer, str]:
+    """Bind the daemon and return ``(server, url)``.
+
+    ``port=0`` binds an ephemeral TCP port; ``unix_path`` switches to a
+    unix-domain socket (the returned URL is ``unix://<path>``).  Call
+    ``server.serve_forever()`` (or drive it from a thread in tests).
+    """
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    if unix_path is not None:
+        server = _UnixHTTPServer(unix_path, handler)
+        return server, f"unix://{unix_path}"
+    server = ThreadingHTTPServer((host, port), handler)
+    bound_host, bound_port = server.server_address[:2]
+    return server, f"http://{bound_host}:{bound_port}"

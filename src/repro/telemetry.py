@@ -82,6 +82,22 @@ engine — see ``repro.resilience``):
     Chunks quarantined after exhausting their retries, and the blocks
     they degraded to list seeds.
 
+Service taxonomy (``service.<kind>``, filled in by the result cache and
+the batch daemon — see ``repro.service``):
+
+``service.cache.hits``
+    Lookups served from the canonical-form result cache (each also
+    replays ``record_search`` so the search aggregates above stay
+    consistent with a cold run).
+``service.cache.misses``
+    Lookups that ran the real search (and, when cache-safe, stored it).
+``service.cache.bypass``
+    Lookups skipped on purpose: a wall-clock ``time_limit`` was set (the
+    outcome is not a function of the problem alone), or the daemon ran
+    without a cache.
+``service.requests`` / ``service.blocks``
+    Batches answered by the daemon, and blocks across them.
+
 The registry is deliberately dumb: the searches accumulate plain local
 integers in their hot loops and flush them here once per block, so the
 per-node overhead of telemetry is a handful of integer adds whether or

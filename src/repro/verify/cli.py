@@ -37,11 +37,25 @@ def _parse_machines(spec: str):
     return [get_machine(name.strip()) for name in spec.split(",") if name.strip()]
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def build_parser(prog: str = "repro-verify") -> argparse.ArgumentParser:
+    from ..cliutil import common_flags
+
     parser = argparse.ArgumentParser(
-        prog="repro-verify",
+        prog=prog,
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
+        parents=[
+            common_flags(
+                ("seed", "curtail", "stats-json"),
+                overrides={
+                    "seed": dict(help="fuzz master seed"),
+                    "stats-json": dict(
+                        help="write verification telemetry "
+                        "(verify.* counters) to PATH"
+                    ),
+                },
+            )
+        ],
     )
     parser.add_argument(
         "--kernels", action="store_true",
@@ -56,11 +70,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="comma-separated preset names, 'all', or 'adversarial' "
         "(default: paper-simulation)",
     )
-    parser.add_argument("--seed", type=int, default=1990, help="fuzz master seed")
-    parser.add_argument(
-        "--curtail", type=int, default=SearchOptions().curtail, metavar="LAMBDA",
-        help="search curtail point shared by all searches",
-    )
     parser.add_argument(
         "--brute-cap", type=int, default=DEFAULT_BRUTE_CAP, metavar="N",
         help="run exhaustive ground truth only below N legal orders "
@@ -74,10 +83,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--replay", metavar="PATH", default=None,
         help="re-run the oracle on an emitted discrepancy report and exit",
     )
-    parser.add_argument(
-        "--stats-json", metavar="PATH", default=None,
-        help="write verification telemetry (verify.* counters) to PATH",
-    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, prog: str = "repro-verify") -> int:
+    parser = build_parser(prog)
     args = parser.parse_args(argv)
 
     options = SearchOptions(curtail=args.curtail)

@@ -121,3 +121,42 @@ def memories(draw, variables=VARIABLES):
         v: draw(st.integers(1, 50))
         for v in variables
     }
+
+
+def rename_block(block, mapping):
+    """``block`` with every tuple reference number sent through ``mapping``.
+
+    Program order is preserved, so the result is the *same scheduling
+    problem* under a different ident naming — the isomorphism the
+    canonical fingerprint (:mod:`repro.service.fingerprint`) must erase.
+    """
+    from repro.ir.block import BasicBlock
+    from repro.ir.tuples import IRTuple, RefOperand
+
+    def remap(operand):
+        if isinstance(operand, RefOperand):
+            return RefOperand(mapping[operand.ref])
+        return operand
+
+    return BasicBlock(
+        (
+            IRTuple(mapping[t.ident], t.op, remap(t.alpha), remap(t.beta))
+            for t in block
+        ),
+        name=block.name,
+    )
+
+
+@st.composite
+def ident_renamings(draw, block):
+    """An injective map of ``block``'s reference numbers onto fresh ones."""
+    idents = [t.ident for t in block]
+    fresh = draw(
+        st.lists(
+            st.integers(1, 10_000),
+            min_size=len(idents),
+            max_size=len(idents),
+            unique=True,
+        )
+    )
+    return dict(zip(idents, fresh))

@@ -1,0 +1,83 @@
+"""The unified ``repro`` entry point and the legacy deprecation shims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import console
+
+ALL_SUBCOMMANDS = ("compile", "experiments", "verify", "bench", "serve")
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("sub", ALL_SUBCOMMANDS)
+    def test_every_subcommand_has_help(self, sub, capsys):
+        with pytest.raises(SystemExit) as exc:
+            console.main([sub, "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        # Help must advertise the *unified* prog, not the legacy script.
+        assert f"repro {sub}" in out
+
+    def test_no_arguments_prints_usage(self, capsys):
+        assert console.main([]) == 0
+        out = capsys.readouterr().out
+        for sub in ALL_SUBCOMMANDS:
+            assert sub in out
+
+    def test_help_flag(self, capsys):
+        assert console.main(["--help"]) == 0
+        assert "subcommands" in capsys.readouterr().out
+
+    def test_version(self, capsys):
+        import repro
+
+        assert console.main(["--version"]) == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_unknown_subcommand(self, capsys):
+        assert console.main(["frobnicate"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown subcommand" in err and "frobnicate" in err
+
+    def test_registry_matches_dispatch_table(self):
+        assert tuple(console.SUBCOMMANDS) == ALL_SUBCOMMANDS
+
+    def test_compile_end_to_end(self, capsys):
+        rc = console.main(
+            ["compile", "-e", "b = 15; a = b * a;", "--show", "stats"]
+        )
+        assert rc == 0
+        assert "omega calls" in capsys.readouterr().out
+
+
+class TestShims:
+    def test_compile_shim_warns_and_delegates(self, capsys):
+        rc = console.compile_shim(["-e", "b = 15; a = b * a;", "--show", "stats"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "repro compile" in captured.err  # points at the replacement
+        assert "omega calls" in captured.out
+
+    def test_shim_keeps_legacy_prog_in_help(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            console.verify_shim(["--help"])
+        assert exc.value.code == 0
+        assert "repro-verify" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "shim", ["compile_shim", "experiments_shim", "verify_shim", "bench_shim"]
+    )
+    def test_every_legacy_script_has_a_shim(self, shim, capsys):
+        with pytest.raises(SystemExit) as exc:
+            getattr(console, shim)(["--help"])
+        assert exc.value.code == 0
+        assert "deprecated" in capsys.readouterr().err
+
+    def test_experiments_shim_end_to_end(self, capsys):
+        rc = console.experiments_shim(["table1"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "Table 1" in captured.out
