@@ -1,4 +1,4 @@
-"""``repro-bench`` — time the search engines and write ``BENCH_search.json``.
+"""``repro-bench`` — time the three search engines, write ``BENCH_search.json``.
 
 Examples::
 
@@ -27,8 +27,8 @@ def build_parser(prog: str = "repro-bench") -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog=prog,
         description=(
-            "Benchmark the fast search engine against the reference "
-            "(identical results enforced, schedules certified)."
+            "Benchmark the fast and vector search engines against the "
+            "reference (identical results enforced, schedules certified)."
         ),
         parents=[
             common_flags(
@@ -96,17 +96,26 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "repro-bench") -> int
         return 1
 
     pop = payload["suites"]["population"]
+    walls = ", ".join(
+        f"{name} {pop['engines'][name]['wall_seconds']:.2f}s"
+        for name in ("fast", "vector", "reference")
+    )
+    ups = ", ".join(
+        f"{name} {pop['speedups'][name]}x" for name in ("fast", "vector")
+    )
     print(
         f"population: {pop['blocks']} blocks, {pop['omega_calls']} omega "
-        f"calls — fast {pop['engines']['fast']['wall_seconds']:.2f}s, "
-        f"reference {pop['engines']['reference']['wall_seconds']:.2f}s, "
-        f"speedup {pop['speedup']}x, certified {pop['certified']}"
+        f"calls — {walls}; speedup over reference: {ups}; "
+        f"certified {pop['certified']}"
     )
     kern = payload["suites"].get("kernels")
     if kern is not None:
+        kups = ", ".join(
+            f"{name} {kern['speedups'][name]}x" for name in ("fast", "vector")
+        )
         print(
             f"kernels: {len(kern['entries'])} kernel x machine pairs, "
-            f"speedup {kern['speedup']}x"
+            f"speedup over reference: {kups}"
         )
     print(f"wrote {args.out}")
     if failures:

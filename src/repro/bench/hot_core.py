@@ -1,20 +1,26 @@
-"""Fast-vs-reference engine benchmark (the ``BENCH_search.json`` writer).
+"""Three-engine search benchmark (the ``BENCH_search.json`` writer).
 
 Measurement method
 ------------------
-Per block the two engines run back to back (fast, then reference) and
-each call is timed individually; per-engine wall time is the sum of its
-own calls.  Interleaving makes the comparison robust against machine
+Per block the three engines run back to back (fast, vector, reference)
+and each call is timed individually; per-engine wall time is the sum of
+its own calls.  Interleaving makes the comparison robust against machine
 load drifting over the run — a bias that back-to-back *batches* are
-fully exposed to.  Every pair of results is compared field by field
+fully exposed to.  Every result triple is compared field by field
 (schedule, Ω calls, prune counts, completion flags — everything except
-wall time), and every fast-engine schedule is certified through
+wall time), and every vector-engine schedule is certified through
 :mod:`repro.verify.certificate`, which shares no code with the
 schedulers.  A benchmark whose engines diverge is not a benchmark, so
 divergence and certification failures are fatal (non-zero exit from the
 CLI) while speedup itself is only reported, never asserted — perf
 assertions belong to the acceptance pipeline, not to a load-sensitive
 smoke job.
+
+When NumPy is missing the "vector" engine transparently degrades to a
+second "fast" run (one warning line on stderr); the payload still
+carries a ``vector`` column so downstream trend tooling keeps a stable
+shape, and ``config.env.numpy`` is ``null`` so the run is honest about
+what was measured.
 
 Suites
 ------
@@ -29,40 +35,52 @@ Suites
     speedup holds on real dependence structure, not just synthetic
     statistics.
 
-Schema (``repro-bench/1``)::
+Schema (``repro-bench/2``)::
 
     {
-      "schema": "repro-bench/1",
-      "config": {"blocks": 2000, "master_seed": 1990, "curtail": 50000,
-                 "repeats": 25, "python": "3.11.7"},
+      "schema": "repro-bench/2",
+      "config": {
+        "blocks": 2000, "master_seed": 1990, "curtail": 50000,
+        "repeats": 25,
+        "env": {"python": "3.11.7", "numpy": "2.4.6",
+                "platform": "Linux-6.8-x86_64", "cpu_count": 8}
+      },
       "suites": {
         "population": {
           "blocks": 1964,                    # non-empty blocks scheduled
           "omega_calls": 1449520,            # identical across engines
           "engines": {
             "fast":      {"wall_seconds": 6.0, "omega_per_sec": 240000.0},
+            "vector":    {"wall_seconds": 5.4, "omega_per_sec": 268000.0},
             "reference": {"wall_seconds": 14.0, "omega_per_sec": 103000.0}
           },
-          "speedup": 2.33,                   # reference / fast wall time
+          "speedups": {"fast": 2.33, "vector": 2.59},  # vs reference wall
           "identical": true,                 # every result field matched
           "certified": 1964                  # schedules certificate-checked
         },
         "kernels": {
           "entries": [
             {"kernel": "dot4", "machine": "paper_simulation",
-             "omega_calls": 123, "fast_seconds": ..., "reference_seconds":
-             ..., "speedup": ..., "identical": true},
+             "omega_calls": 123,
+             "seconds": {"fast": ..., "vector": ..., "reference": ...},
+             "speedups": {"fast": ..., "vector": ...}, "identical": true},
             ...
           ],
-          "speedup": ...                     # total ref / total fast
+          "speedups": {"fast": ..., "vector": ...}  # total ref / total engine
         }
       },
-      "summary": {"speedup": 2.33, "identical": true, "failures": []}
+      "summary": {"speedups": {"fast": 2.33, "vector": 2.59},
+                  "identical": true, "failures": []}
     }
+
+Schema history: ``repro-bench/1`` had two engines, a scalar ``speedup``
+field (reference/fast) and only ``config.python``; ``/2`` adds the
+vector column, per-engine ``speedups`` and the ``config.env`` record.
 """
 
 from __future__ import annotations
 
+import os
 import platform
 import time
 from typing import Dict, List, Optional, Tuple
@@ -82,7 +100,11 @@ from ..synth.kernels import KERNELS
 from ..synth.population import PopulationSpec, sample_population
 
 #: Version tag of the ``BENCH_search.json`` payload.
-SCHEMA = "repro-bench/1"
+SCHEMA = "repro-bench/2"
+
+#: Engines timed per block, in run order; "fast" is the comparison base
+#: for identity checks, "reference" the base for speedups.
+ENGINES = ("fast", "vector", "reference")
 
 #: Deterministic presets the kernel suite runs on (name -> factory).
 KERNEL_MACHINES = (
@@ -90,6 +112,22 @@ KERNEL_MACHINES = (
     ("deep_memory", deep_memory_machine),
     ("scalar", scalar_machine),
 )
+
+
+def bench_environment() -> Dict:
+    """The ``config.env`` record: everything a timing depends on."""
+    try:
+        import numpy
+
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
 
 
 def _result_fields(r: SearchResult) -> tuple:
@@ -146,6 +184,22 @@ def _certify(
     return None
 
 
+def _engine_options(curtail: int) -> Dict[str, SearchOptions]:
+    return {
+        name: SearchOptions(curtail=curtail, engine=name) for name in ENGINES
+    }
+
+
+def _speedups(seconds: Dict[str, float]) -> Dict[str, Optional[float]]:
+    """Per-engine speedup over the reference engine's wall time."""
+    ref = seconds["reference"]
+    return {
+        name: round(ref / seconds[name], 3) if seconds[name] else None
+        for name in ENGINES
+        if name != "reference"
+    }
+
+
 def bench_population(
     n_blocks: int,
     master_seed: int,
@@ -153,12 +207,11 @@ def bench_population(
     certify: bool = True,
     failures: Optional[List[str]] = None,
 ) -> Dict:
-    """Both engines over the synthetic corpus, interleaved per block."""
+    """All three engines over the synthetic corpus, interleaved per block."""
     machine = paper_simulation_machine()
-    opts_fast = SearchOptions(curtail=curtail, engine="fast")
-    opts_ref = SearchOptions(curtail=curtail, engine="reference")
+    options = _engine_options(curtail)
     perf = time.perf_counter
-    fast_seconds = ref_seconds = 0.0
+    seconds = {name: 0.0 for name in ENGINES}
     omega = scheduled = certified = 0
     identical = True
     if failures is None:
@@ -169,24 +222,26 @@ def bench_population(
         if len(gb.block) == 0:
             continue
         dag = DependenceDAG(gb.block)
-        t0 = perf()
-        fast = schedule_block(dag, machine, opts_fast)
-        t1 = perf()
-        ref = schedule_block(dag, machine, opts_ref)
-        t2 = perf()
-        fast_seconds += t1 - t0
-        ref_seconds += t2 - t1
+        results: Dict[str, SearchResult] = {}
+        for name in ENGINES:
+            t0 = perf()
+            results[name] = schedule_block(dag, machine, options[name])
+            seconds[name] += perf() - t0
+        fast = results["fast"]
         omega += fast.omega_calls
         scheduled += 1
-        if _result_fields(fast) != _result_fields(ref):
-            identical = False
-            failures.append(
-                f"population block {index}: fast != reference "
-                f"(nops {fast.final_nops} vs {ref.final_nops}, "
-                f"omega {fast.omega_calls} vs {ref.omega_calls})"
-            )
+        base = _result_fields(fast)
+        for name in ("vector", "reference"):
+            if _result_fields(results[name]) != base:
+                identical = False
+                failures.append(
+                    f"population block {index}: fast != {name} "
+                    f"(nops {fast.final_nops} vs {results[name].final_nops}, "
+                    f"omega {fast.omega_calls} vs "
+                    f"{results[name].omega_calls})"
+                )
         if certify:
-            problem = _certify(dag, machine, fast, None)
+            problem = _certify(dag, machine, results["vector"], None)
             if problem is None:
                 certified += 1
             else:
@@ -195,20 +250,15 @@ def bench_population(
         "blocks": scheduled,
         "omega_calls": omega,
         "engines": {
-            "fast": {
-                "wall_seconds": round(fast_seconds, 4),
-                "omega_per_sec": round(omega / fast_seconds, 1)
-                if fast_seconds
+            name: {
+                "wall_seconds": round(seconds[name], 4),
+                "omega_per_sec": round(omega / seconds[name], 1)
+                if seconds[name]
                 else None,
-            },
-            "reference": {
-                "wall_seconds": round(ref_seconds, 4),
-                "omega_per_sec": round(omega / ref_seconds, 1)
-                if ref_seconds
-                else None,
-            },
+            }
+            for name in ENGINES
         },
-        "speedup": round(ref_seconds / fast_seconds, 3) if fast_seconds else None,
+        "speedups": _speedups(seconds),
         "identical": identical,
         "certified": certified,
     }
@@ -228,12 +278,11 @@ def bench_kernels(
     repeats: int,
     failures: Optional[List[str]] = None,
 ) -> Dict:
-    """Both engines over kernels x machine presets, repeated and interleaved."""
-    opts_fast = SearchOptions(curtail=curtail, engine="fast")
-    opts_ref = SearchOptions(curtail=curtail, engine="reference")
+    """All engines over kernels x machine presets, repeated and interleaved."""
+    options = _engine_options(curtail)
     perf = time.perf_counter
     entries = []
-    total_fast = total_ref = 0.0
+    totals = {name: 0.0 for name in ENGINES}
     if failures is None:
         failures = []
     for kernel in KERNELS:
@@ -241,50 +290,48 @@ def bench_kernels(
         for machine_name, factory in KERNEL_MACHINES:
             machine = factory()
             assignment = _assignment_for(dag, machine)
-            fast_seconds = ref_seconds = 0.0
-            fast = ref = None
+            seconds = {name: 0.0 for name in ENGINES}
+            results: Dict[str, SearchResult] = {}
             for _ in range(repeats):
-                t0 = perf()
-                fast = schedule_block(
-                    dag, machine, opts_fast, assignment=assignment
-                )
-                t1 = perf()
-                ref = schedule_block(
-                    dag, machine, opts_ref, assignment=assignment
-                )
-                t2 = perf()
-                fast_seconds += t1 - t0
-                ref_seconds += t2 - t1
-            identical = _result_fields(fast) == _result_fields(ref)
+                for name in ENGINES:
+                    t0 = perf()
+                    results[name] = schedule_block(
+                        dag, machine, options[name], assignment=assignment
+                    )
+                    seconds[name] += perf() - t0
+            base = _result_fields(results["fast"])
+            identical = all(
+                _result_fields(results[name]) == base
+                for name in ("vector", "reference")
+            )
             if not identical:
                 failures.append(
                     f"kernel {kernel.name} on {machine_name}: "
-                    "fast != reference"
+                    "engines diverge"
                 )
-            problem = _certify(dag, machine, fast, assignment)
+            problem = _certify(dag, machine, results["vector"], assignment)
             if problem is not None:
                 failures.append(
                     f"kernel {kernel.name} on {machine_name}: {problem}"
                 )
-            total_fast += fast_seconds
-            total_ref += ref_seconds
+            for name in ENGINES:
+                totals[name] += seconds[name]
             entries.append(
                 {
                     "kernel": kernel.name,
                     "machine": machine_name,
                     "instructions": len(dag),
-                    "omega_calls": fast.omega_calls,
-                    "fast_seconds": round(fast_seconds, 5),
-                    "reference_seconds": round(ref_seconds, 5),
-                    "speedup": round(ref_seconds / fast_seconds, 3)
-                    if fast_seconds
-                    else None,
+                    "omega_calls": results["fast"].omega_calls,
+                    "seconds": {
+                        name: round(seconds[name], 5) for name in ENGINES
+                    },
+                    "speedups": _speedups(seconds),
                     "identical": identical,
                 }
             )
     return {
         "entries": entries,
-        "speedup": round(total_ref / total_fast, 3) if total_fast else None,
+        "speedups": _speedups(totals),
     }
 
 
@@ -299,9 +346,9 @@ def run_bench(
     """Run every suite; returns ``(payload, failures)``.
 
     ``failures`` lists engine divergences and certificate rejections —
-    empty means the fast engine is (still) bit-for-bit the reference.
-    ``blocks`` defaults to the ``REPRO_SCALE``-sized population (the
-    same corpus the experiments schedule).
+    empty means the fast and vector engines are (still) bit-for-bit the
+    reference.  ``blocks`` defaults to the ``REPRO_SCALE``-sized
+    population (the same corpus the experiments schedule).
     """
     if blocks is None:
         blocks = population_size()
@@ -320,11 +367,11 @@ def run_bench(
             "master_seed": master_seed,
             "curtail": curtail,
             "repeats": repeats if kernels else None,
-            "python": platform.python_version(),
+            "env": bench_environment(),
         },
         "suites": suites,
         "summary": {
-            "speedup": suites["population"]["speedup"],
+            "speedups": suites["population"]["speedups"],
             "identical": not failures,
             "failures": failures,
         },

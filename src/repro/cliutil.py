@@ -29,10 +29,12 @@ COMMON_FLAGS: Dict[str, Tuple[tuple, dict]] = {
     "engine": (
         ("--engine",),
         dict(
-            choices=("fast", "reference"),
+            choices=("fast", "reference", "vector"),
             default="fast",
-            help="search engine: the flattened array core (fast) or the "
-            "recursive reference — bit-for-bit identical results",
+            help="search engine: the flattened array core (fast), the "
+            "NumPy-batched variant of it (vector; falls back to fast "
+            "when numpy is missing) or the recursive reference — "
+            "bit-for-bit identical results",
         ),
     ),
     "seed": (

@@ -41,7 +41,10 @@ SUBCOMMANDS = {
         "repro.verify.cli",
         "differential oracle: certify every scheduler against the checker",
     ),
-    "bench": ("repro.bench.cli", "benchmark the fast engine vs the reference"),
+    "bench": (
+        "repro.bench.cli",
+        "benchmark the fast and vector engines vs the reference",
+    ),
     "serve": ("repro.service.cli", "batch scheduling daemon with result cache"),
 }
 

@@ -242,6 +242,15 @@ def run_population_parallel(
         machine = paper_simulation_machine()
     if options is None:
         options = SearchOptions(curtail=curtail)
+    if options.engine == "vector":
+        from ..sched.core import numpy_available, warn_vector_fallback
+
+        if not numpy_available():
+            # Normalize in the parent rather than letting every worker
+            # discover the missing dependency on its own: one warning
+            # line per run, byte-identical records, never a crash.
+            warn_vector_fallback()
+            options = dataclasses.replace(options, engine="fast")
     if supervisor is None:
         supervisor = SupervisorConfig()
     if budget is not None:

@@ -119,10 +119,13 @@ class SearchOptions:
     max_live: Optional[int] = None
     #: Which DFS implementation runs the search: ``"fast"`` (the flattened
     #: array engine in ``repro.sched.core`` — bitmask ready sets, explicit
-    #: stack, in-place do/undo) or ``"reference"`` (the readable recursive
-    #: formulation below).  Both are bit-for-bit identical in every
-    #: ``SearchResult`` field except ``elapsed_seconds``; the reference is
-    #: kept for ablation and differential testing.
+    #: stack, in-place do/undo), ``"vector"`` (the same engine with NumPy
+    #: batch kernels over the flat arrays; degrades to ``"fast"`` with a
+    #: one-line notice when NumPy is absent) or ``"reference"`` (the
+    #: readable recursive formulation below).  All three are bit-for-bit
+    #: identical in every ``SearchResult`` field except
+    #: ``elapsed_seconds``; the reference is kept for ablation and
+    #: differential testing.
     engine: str = "fast"
 
     def __post_init__(self) -> None:
@@ -130,10 +133,10 @@ class SearchOptions:
             raise ValueError("curtail point must be positive")
         if self.time_limit is not None and self.time_limit <= 0:
             raise ValueError("time limit must be positive")
-        if self.engine not in ("fast", "reference"):
+        if self.engine not in ("fast", "reference", "vector"):
             raise ValueError(
                 f"unknown search engine {self.engine!r} "
-                "(expected 'fast' or 'reference')"
+                "(expected 'fast', 'reference' or 'vector')"
             )
         if self.max_memo_entries < 0:
             raise ValueError("max_memo_entries must be non-negative")
@@ -237,9 +240,12 @@ def schedule_block(
         Optional :class:`repro.telemetry.Telemetry` registry; the
         search's prune counters and wall time are folded into it.
     engine:
-        ``"fast"`` or ``"reference"``; overrides ``options.engine``.
-        Both engines return bit-for-bit identical results (everything
-        except ``elapsed_seconds``); see :mod:`repro.sched.core`.
+        ``"fast"``, ``"vector"`` or ``"reference"``; overrides
+        ``options.engine``.  All engines return bit-for-bit identical
+        results (everything except ``elapsed_seconds``); ``"vector"``
+        silently degrades to ``"fast"`` when NumPy is unavailable (a
+        one-line stderr notice, once per process).  See
+        :mod:`repro.sched.core`.
 
     Returns
     -------
@@ -252,11 +258,15 @@ def schedule_block(
     start = time.perf_counter()
     n = len(dag)
     engine_name = options.engine if engine is None else engine
-    if engine_name not in ("fast", "reference"):
+    if engine_name not in ("fast", "reference", "vector"):
         raise ValueError(
             f"unknown search engine {engine_name!r} "
-            "(expected 'fast' or 'reference')"
+            "(expected 'fast', 'reference' or 'vector')"
         )
+    if engine_name == "vector":
+        from .core import resolve_engine
+
+        engine_name = resolve_engine(engine_name)
 
     def _done(result: SearchResult) -> SearchResult:
         if telemetry is not None:
@@ -308,6 +318,15 @@ def schedule_block(
 
         return _done(
             run_fast_search(
+                dag, machine, resolver, options, initial, seed,
+                fits_budget, start,
+            )
+        )
+    if engine_name == "vector":
+        from .core import run_vector_search
+
+        return _done(
+            run_vector_search(
                 dag, machine, resolver, options, initial, seed,
                 fits_budget, start,
             )

@@ -84,15 +84,18 @@ def schedule_block_split(
         Curtail point applied to each window's search independently.
     engine:
         ``"fast"`` runs the windows on the flattened array engine in
-        :mod:`repro.sched.core`; ``"reference"`` runs the recursive
-        formulation below.  Results are bit-for-bit identical
+        :mod:`repro.sched.core`; ``"vector"`` adds that engine's NumPy
+        batch window scorer (degrading to ``"fast"`` with a one-line
+        notice when NumPy is absent); ``"reference"`` runs the
+        recursive formulation below.  Results are bit-for-bit identical
         (everything except ``elapsed_seconds``).
     """
     if window < 1:
         raise ValueError("window must be at least 1 instruction")
-    if engine not in ("fast", "reference"):
+    if engine not in ("fast", "reference", "vector"):
         raise ValueError(
-            f"unknown search engine {engine!r} (expected 'fast' or 'reference')"
+            f"unknown search engine {engine!r} "
+            "(expected 'fast', 'reference' or 'vector')"
         )
     start = time.perf_counter()
     if seed is None:
@@ -103,10 +106,13 @@ def schedule_block_split(
 
     resolver = SigmaResolver(dag, machine, assignment)
 
-    if engine == "fast":
-        from .core import run_fast_split
+    if engine in ("fast", "vector"):
+        if engine == "vector":
+            from .core import run_vector_split as run_split
+        else:
+            from .core import run_fast_split as run_split
 
-        timing, windows, omega_calls, all_completed, totals = run_fast_split(
+        timing, windows, omega_calls, all_completed, totals = run_split(
             dag, machine, resolver, seed, window,
             curtail_per_window, initial_conditions,
         )

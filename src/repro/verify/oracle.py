@@ -11,7 +11,7 @@ exhaustive enumerations, then:
 * asserts the invariant lattice between the results::
 
       brute == exhaustive == search  <=  split            (search complete)
-                       fast engine  ==  reference engine (bit for bit,
+            vector == fast == reference engines           (bit for bit,
                                                           no time limit)
                               search <=  list             (always)
                               multi  <=  pinned search    (always)
@@ -201,16 +201,29 @@ def check_block(
     )
     certify("search", search.best.order, search.best.etas, assignment)
 
-    # Twin-engine run: whichever engine `options` selects, the other one
-    # must reproduce it bit for bit (checked in the lattice below).
+    # Twin-engine runs: whichever engine `options` selects, the other two
+    # must reproduce it bit for bit (checked in the lattice below); with
+    # NumPy absent the "vector" twin degrades to a second "fast" run,
+    # which keeps the check sound (identical, just not independent).
     # Skipped under a wall-clock deadline, where the truncation point
     # legitimately depends on the engine's speed.
-    twin = None
+    twins: List[Tuple[str, object]] = []
     if options.time_limit is None:
-        twin_engine = "reference" if options.engine == "fast" else "fast"
-        twin = schedule_block(
-            dag, machine, options, assignment=assignment, engine=twin_engine
-        )
+        for twin_engine in ("fast", "vector", "reference"):
+            if twin_engine == options.engine:
+                continue
+            twins.append(
+                (
+                    twin_engine,
+                    schedule_block(
+                        dag,
+                        machine,
+                        options,
+                        assignment=assignment,
+                        engine=twin_engine,
+                    ),
+                )
+            )
 
     split = schedule_block_split(dag, machine, assignment=assignment)
     split_flagged = not split.all_windows_completed
@@ -266,7 +279,7 @@ def check_block(
                 telemetry.count("verify.invariant_failures")
             discrepancies.append(Discrepancy(invariant, detail))
 
-    if twin is not None:
+    for twin_engine, twin in twins:
         expect(
             twin.best == search.best
             and twin.initial == search.initial
@@ -276,10 +289,10 @@ def check_block(
             and twin.proved_by_bound == search.proved_by_bound
             and twin.memo_evicted == search.memo_evicted
             and dict(twin.prune_counts) == dict(search.prune_counts),
-            "fast==reference",
+            "vector==fast==reference",
             f"engines diverge: {search.final_nops} NOPs / "
             f"{search.omega_calls} omega calls ({options.engine}) vs "
-            f"{twin.final_nops} / {twin.omega_calls} (twin engine)",
+            f"{twin.final_nops} / {twin.omega_calls} ({twin_engine})",
         )
     expect(
         search.final_nops <= list_timing.total_nops,

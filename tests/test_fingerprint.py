@@ -112,6 +112,17 @@ class TestIsomorphismCollides:
             figure3_dag, machine, SearchOptions(engine="reference")
         )
 
+    def test_vector_engine_shares_fast_keys(self, figure3_dag):
+        # Regression for the canonical cache contract: a result computed
+        # under "fast" must be a hit for a "vector" request (and vice
+        # versa), so the vector engine must not leak into the key.
+        machine = paper_simulation_machine()
+        keys = {
+            _key(figure3_dag, machine, SearchOptions(engine=engine))
+            for engine in ("fast", "vector", "reference")
+        }
+        assert len(keys) == 1
+
 
 class TestMutationSeparates:
     @settings(max_examples=40, deadline=None)

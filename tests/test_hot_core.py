@@ -1,15 +1,19 @@
 """The flattened hot core (`repro.sched.core`) against the reference engine.
 
-The fast engine's contract is *bit-for-bit* equality with the recursive
-reference — every ``SearchResult`` field except wall time.  These tests
-pin that contract:
+The fast and vector engines' contract is *bit-for-bit* equality with the
+recursive reference — every ``SearchResult`` field except wall time.
+These tests pin that contract:
 
 * differential fuzzing (hypothesis blocks x random + adversarial
-  machines), with every fast-engine schedule re-derived through the
-  independent certificate checker;
+  machines) over every engine pair, with each engine's schedule
+  re-derived through the independent certificate checker;
 * the degradation paths: dominance-memo eviction under a tiny
   ``max_memo_entries``, curtail, and wall-clock deadlines (including the
-  ``BlockRecord.degraded`` path the experiments publish);
+  ``BlockRecord.degraded`` path the experiments publish) — under all
+  three engines;
+* the vector engine's NumPy batch path (wide ready frontiers), its
+  carry-in (non-packable memo key) path, and its graceful fallback to
+  the fast engine when NumPy is missing;
 * the engine switch itself (options validation, per-call override, the
   split scheduler's engine parameter).
 """
@@ -17,10 +21,13 @@ pin that contract:
 import pytest
 from hypothesis import given, settings
 
+import repro.sched.core as core
 from repro.experiments.runner import schedule_generated_block
+from repro.ir.block import BlockBuilder
 from repro.ir.dag import DependenceDAG
 from repro.machine.presets import get_machine
 from repro.sched.multi import first_pipeline_assignment
+from repro.sched.nop_insertion import InitialConditions
 from repro.sched.search import SearchOptions, schedule_block
 from repro.sched.splitting import schedule_block_split
 from repro.synth.population import PopulationSpec, sample_population
@@ -28,6 +35,12 @@ from repro.telemetry import Telemetry
 from repro.verify.certificate import check_schedule
 
 from .strategies import any_machines, blocks
+
+#: The full engine lattice: every member must agree with every other in
+#: all ``SearchResult`` fields except ``elapsed_seconds``.  "vector" is
+#: exercised even without NumPy installed — it then runs the documented
+#: fallback to "fast", which must preserve the same contract.
+ENGINES = ("fast", "vector", "reference")
 
 
 def _assignment_for(dag, machine):
@@ -53,15 +66,24 @@ def _fields(result):
     )
 
 
-def _run_both(dag, machine, options, assignment=None):
-    fast = schedule_block(
-        dag, machine, options, assignment=assignment, engine="fast"
-    )
-    ref = schedule_block(
-        dag, machine, options, assignment=assignment, engine="reference"
-    )
-    assert _fields(fast) == _fields(ref)
-    return fast
+def _run_all(dag, machine, options, assignment=None, **kwargs):
+    """Run every engine; assert pairwise bit-for-bit equality."""
+    results = {
+        name: schedule_block(
+            dag, machine, options, assignment=assignment, engine=name,
+            **kwargs,
+        )
+        for name in ENGINES
+    }
+    reference = _fields(results["reference"])
+    for name in ("fast", "vector"):
+        assert _fields(results[name]) == reference, f"{name} != reference"
+    return results["fast"]
+
+
+# Backwards-compatible alias used throughout this module; now checks the
+# whole lattice, not just fast-vs-reference.
+_run_both = _run_all
 
 
 # ----------------------------------------------------------------------
@@ -107,16 +129,18 @@ def _population(n_blocks, seed=7):
 
 
 def test_split_engines_match():
-    """Window-by-window scheduling: both engines agree on every field."""
+    """Window-by-window scheduling: all engines agree on every field."""
     machine, members = _population(30)
     for gb in members:
         dag = DependenceDAG(gb.block)
-        fast = schedule_block_split(dag, machine, window=5, engine="fast")
         ref = schedule_block_split(dag, machine, window=5, engine="reference")
-        assert fast.timing == ref.timing
-        assert fast.omega_calls == ref.omega_calls
-        assert fast.windows == ref.windows
-        assert fast.all_windows_completed == ref.all_windows_completed
+        for name in ("fast", "vector"):
+            got = schedule_block_split(dag, machine, window=5, engine=name)
+            assert got.timing == ref.timing
+            assert got.omega_calls == ref.omega_calls
+            assert got.windows == ref.windows
+            assert got.all_windows_completed == ref.all_windows_completed
+            assert dict(got.prune_counts) == dict(ref.prune_counts)
 
 
 # ----------------------------------------------------------------------
@@ -137,7 +161,9 @@ def test_memo_eviction_degrades_gracefully():
             dag, machine, options, telemetry=telemetry, engine="fast"
         )
         ref = schedule_block(dag, machine, options, engine="reference")
+        vec = schedule_block(dag, machine, options, engine="vector")
         assert _fields(fast) == _fields(ref)
+        assert _fields(vec) == _fields(ref)
         evicted_anywhere = evicted_anywhere or fast.memo_evicted > 0
         # A starved memo may only cost omega calls, never quality.
         full = schedule_block(dag, machine, baseline, engine="fast")
@@ -220,6 +246,7 @@ def test_block_timeout_degrades_block_record():
 def test_engine_option_validation():
     with pytest.raises(ValueError, match="unknown search engine"):
         SearchOptions(engine="turbo")
+    assert SearchOptions(engine="vector").engine == "vector"
     machine, members = _population(3, seed=1)
     dag = DependenceDAG(members[0].block)
     with pytest.raises(ValueError, match="unknown search engine"):
@@ -236,3 +263,91 @@ def test_engine_override_beats_options():
     fast = schedule_block(dag, machine, options, engine="fast")
     ref = schedule_block(dag, machine, options)
     assert _fields(fast) == _fields(ref)
+
+
+# ----------------------------------------------------------------------
+# Vector engine specifics
+# ----------------------------------------------------------------------
+def test_vector_batch_path_on_wide_frontier(monkeypatch):
+    """A block whose root offers ~40 ready instructions drives the ready
+    frontier past ``VECTOR_MIN_FRONTIER``, so the vector engine takes the
+    fused NumPy scoring pass — and must still match both scalar engines
+    bit for bit."""
+    builder = BlockBuilder("wide")
+    refs = [builder.emit_load("a") for _ in range(40)]
+    builder.emit_store("a", refs[-1])
+    dag = DependenceDAG(builder.build())
+    machine = get_machine("paper-simulation")
+    # No lower-bound prune: the homogeneous block would otherwise be
+    # proven optimal at the root and never reach the DFS.
+    options = SearchOptions(curtail=2_000, lower_bound_prune=False)
+    if core.numpy_available():
+        batch_calls = []
+        real = core._mask_indices
+        monkeypatch.setattr(
+            core,
+            "_mask_indices",
+            lambda mask, n: (batch_calls.append(1), real(mask, n))[1],
+        )
+        _run_all(dag, machine, options)
+        assert batch_calls, "wide frontier never hit the NumPy batch scorer"
+    else:
+        _run_all(dag, machine, options)
+
+
+def test_vector_engine_with_carry_in_conditions():
+    """Carry-in pipeline/variable state disables the packed memo keys
+    (the ``packable`` fast path); the tuple-key fallback inside the
+    vector engine must keep the lattice exact."""
+    machine, members = _population(25, seed=17)
+    pid = sorted(p.ident for p in machine.pipelines)[0]
+    for gb in members[:10]:
+        dag = DependenceDAG(gb.block)
+        variables = sorted(
+            {t.variable for t in gb.block if t.variable is not None}
+        )
+        init = InitialConditions(
+            pipe_free={pid: 3},
+            variable_ready={variables[0]: 5} if variables else {},
+        )
+        _run_all(dag, machine, SearchOptions(), initial_conditions=init)
+
+
+def test_vector_split_matches_on_large_blocks():
+    """Blocks well past the window size exercise the carry-across-window
+    state under the vector splitter."""
+    machine = get_machine("paper-simulation")
+    spec = PopulationSpec(
+        statement_shape=2.0, statement_scale=4.0, max_statements=25
+    )
+    for gb in sample_population(10, master_seed=23, spec=spec):
+        if len(gb.block) < 8:
+            continue
+        dag = DependenceDAG(gb.block)
+        ref = schedule_block_split(dag, machine, window=6, engine="reference")
+        vec = schedule_block_split(dag, machine, window=6, engine="vector")
+        assert vec.timing == ref.timing
+        assert vec.omega_calls == ref.omega_calls
+        assert dict(vec.prune_counts) == dict(ref.prune_counts)
+
+
+def test_vector_engine_fallback_without_numpy(monkeypatch, capsys):
+    """With NumPy unavailable the vector engine must degrade to the fast
+    engine: one warning line per process, exit path identical, results
+    byte-for-byte the fast engine's."""
+    machine, members = _population(6, seed=21)
+    dag = DependenceDAG(members[0].block)
+    fast = schedule_block(dag, machine, SearchOptions(), engine="fast")
+    split_fast = schedule_block_split(dag, machine, window=4, engine="fast")
+    monkeypatch.setattr(core, "_np", None)
+    monkeypatch.setattr(core, "_vector_fallback_warned", False)
+    vec1 = schedule_block(dag, machine, SearchOptions(), engine="vector")
+    vec2 = schedule_block(dag, machine, SearchOptions(), engine="vector")
+    split_vec = schedule_block_split(dag, machine, window=4, engine="vector")
+    err = capsys.readouterr().err
+    assert err.count("falling back to 'fast'") == 1, err
+    assert _fields(vec1) == _fields(fast)
+    assert _fields(vec2) == _fields(fast)
+    assert split_vec.timing == split_fast.timing
+    assert split_vec.omega_calls == split_fast.omega_calls
+    assert dict(split_vec.prune_counts) == dict(split_fast.prune_counts)

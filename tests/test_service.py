@@ -126,6 +126,24 @@ class TestCacheTransparency:
         assert set(served.best.order) == set(dag2.idents)
         _certify(dag2, machine, served.best)
 
+    def test_fast_result_served_to_vector_request(self, figure3_dag):
+        # The canonical key excludes the engine, so a result solved
+        # under "fast" must be a hit for a "vector" request — and
+        # indistinguishable from solving the block cold under vector.
+        machine = get_machine("paper-simulation")
+        fast_opts = dataclasses.replace(OPTIONS, engine="fast")
+        vector_opts = dataclasses.replace(OPTIONS, engine="vector")
+        cache = ScheduleCache()
+        warm, s1 = cache.schedule_with_status(figure3_dag, machine, fast_opts)
+        served, s2 = cache.schedule_with_status(
+            figure3_dag, machine, vector_opts
+        )
+        assert (s1, s2) == ("miss", "hit")
+        assert _strip(served) == _strip(warm)
+        cold = schedule_block(figure3_dag, machine, vector_opts)
+        assert _strip(served) == _strip(cold)
+        _certify(figure3_dag, machine, served.best)
+
 
 class TestCacheTiers:
     def test_disk_tier_survives_process_boundary(self, tmp_path, figure3_dag):
