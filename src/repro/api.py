@@ -19,7 +19,9 @@ The groups:
   :func:`machine_to_dict` / :func:`machine_from_dict`).
 - **Scheduling** — :func:`schedule_block` (the branch-and-bound search
   behind :class:`SearchOptions` / :class:`SearchResult`),
-  :func:`list_schedule`, and :func:`compute_timing` (the Ω procedure).
+  :func:`list_schedule`, :func:`compute_timing` (the Ω procedure), and
+  :func:`schedule_block_ilp` (the time-indexed ILP witness behind
+  :class:`IlpOptions` / :class:`IlpSearchResult`).
 - **Verification** — :func:`check_schedule`, the independent
   certificate checker.
 - **Service** — the canonical-form result cache
@@ -59,6 +61,7 @@ from .driver import (
     verify_compilation,
     verify_program,
 )
+from .ilp import IlpOptions, IlpSearchResult, schedule_block_ilp
 from .ir import (
     BasicBlock,
     DependenceDAG,
@@ -134,12 +137,15 @@ __all__ = [
     "machine_from_dict",
     "machine_to_dict",
     # scheduling
+    "IlpOptions",
+    "IlpSearchResult",
     "InitialConditions",
     "SearchOptions",
     "SearchResult",
     "compute_timing",
     "list_schedule",
     "schedule_block",
+    "schedule_block_ilp",
     # verification
     "check_schedule",
     # service

@@ -67,6 +67,15 @@ COMMON_FLAGS: Dict[str, Tuple[tuple, dict]] = {
             "mismatch aborts the run",
         ),
     ),
+    "optimality": (
+        ("--optimality",),
+        dict(
+            action="store_true",
+            help="run the ILP witness (repro.ilp) against every search "
+            "result: assert omega-equality when both complete, record a "
+            "certified optimality gap (LP dual bound) when curtailed",
+        ),
+    ),
     "block-timeout": (
         ("--block-timeout",),
         dict(

@@ -39,7 +39,8 @@ SUBCOMMANDS = {
     ),
     "verify": (
         "repro.verify.cli",
-        "differential oracle: certify every scheduler against the checker",
+        "differential oracle: certify every scheduler against the checker "
+        "(--optimality adds the ILP witness)",
     ),
     "bench": (
         "repro.bench.cli",

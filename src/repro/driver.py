@@ -47,7 +47,9 @@ from .telemetry import Telemetry
 #: Scheduler selection for :func:`compile_source`.  "multi" is the
 #: pipeline-selection extension (footnote 3) — the only choice that
 #: accepts non-deterministic machines like the Tables 2+3 example.
-SCHEDULERS = ("optimal", "multi", "gross", "greedy", "list", "none")
+#: "ilp" is the paper search's ILP twin (``repro.ilp``): same optimum,
+#: independently derived, with a certified dual bound when curtailed.
+SCHEDULERS = ("optimal", "ilp", "multi", "gross", "greedy", "list", "none")
 
 
 class VerificationError(RuntimeError):
@@ -97,9 +99,11 @@ def compile_source(
     Parameters
     ----------
     scheduler:
-        ``"optimal"`` (the paper's search), ``"gross"``/``"greedy"``
-        (heuristic baselines), ``"list"`` (seed schedule only), or
-        ``"none"`` (program order, NOPs inserted but nothing moved).
+        ``"optimal"`` (the paper's search), ``"ilp"`` (the declarative
+        ILP witness — same optimum, independently derived),
+        ``"gross"``/``"greedy"`` (heuristic baselines), ``"list"`` (seed
+        schedule only), or ``"none"`` (program order, NOPs inserted but
+        nothing moved).
     num_registers:
         When given, the spill pre-pass bounds program-order register
         pressure before scheduling (section 3.1).
@@ -126,8 +130,11 @@ def compile_source(
 
     search: Optional[SearchResult] = None
     assignment = None
-    if scheduler == "optimal":
-        search = schedule_block(dag, machine, options, telemetry=telemetry)
+    if scheduler in ("optimal", "ilp"):
+        search = schedule_block(
+            dag, machine, options, telemetry=telemetry,
+            backend="ilp" if scheduler == "ilp" else "search",
+        )
         timing = search.best
     elif scheduler == "multi":
         from .sched.multi import schedule_block_multi
@@ -145,7 +152,7 @@ def compile_source(
         timing = compute_timing(dag, list_schedule(dag), machine)
     else:
         timing = compute_timing(dag, program_order(dag), machine)
-    if scheduler not in ("optimal", "multi") and num_registers is not None:
+    if scheduler not in ("optimal", "ilp", "multi") and num_registers is not None:
         from .regalloc.liveness import max_live
 
         if max_live(block, timing.order) > num_registers:
@@ -263,8 +270,11 @@ def compile_block(
 
     search: Optional[SearchResult] = None
     assignment = None
-    if scheduler == "optimal":
-        search = schedule_block(dag, machine, block_options, telemetry=telemetry)
+    if scheduler in ("optimal", "ilp"):
+        search = schedule_block(
+            dag, machine, block_options, telemetry=telemetry,
+            backend="ilp" if scheduler == "ilp" else "search",
+        )
         timing = search.best
     elif scheduler == "multi":
         from .sched.multi import schedule_block_multi
@@ -282,7 +292,7 @@ def compile_block(
         timing = compute_timing(dag, list_schedule(dag), machine)
     else:
         timing = compute_timing(dag, program_order(dag), machine)
-    if scheduler not in ("optimal", "multi") and num_registers is not None:
+    if scheduler not in ("optimal", "ilp", "multi") and num_registers is not None:
         from .regalloc.liveness import max_live
 
         if max_live(block, timing.order) > num_registers:
@@ -392,13 +402,14 @@ def compile_program(
         dag = DependenceDAG(block)
 
         search: Optional[SearchResult] = None
-        if scheduler == "optimal":
+        if scheduler in ("optimal", "ilp"):
             search = schedule_block(
                 dag,
                 machine,
                 block_options,
                 initial_conditions=conditions,
                 telemetry=telemetry,
+                backend="ilp" if scheduler == "ilp" else "search",
             )
             timing = search.best
         elif scheduler == "gross":
@@ -413,7 +424,7 @@ def compile_program(
             timing = compute_timing(
                 dag, program_order(dag), machine, initial=conditions
             )
-        if scheduler != "optimal" and num_registers is not None:
+        if scheduler not in ("optimal", "ilp") and num_registers is not None:
             from .regalloc.liveness import max_live
 
             if max_live(block, timing.order) > num_registers:

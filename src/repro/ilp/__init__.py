@@ -1,0 +1,34 @@
+"""Dependency-free ILP backend for NOP-minimization.
+
+An independent optimality witness for the branch-and-bound search: the
+same problem the search explores order-by-order is lowered to a
+time-indexed 0/1 program (:mod:`repro.ilp.encoder`), solved by a
+bounded-variable simplex (:mod:`repro.ilp.simplex`) inside LP-based
+branch and bound (:mod:`repro.ilp.bnb`), and decoded back into a
+certified ``SearchResult`` (:mod:`repro.ilp.backend`).  Entry points:
+``schedule_block(..., backend="ilp")`` or :func:`schedule_block_ilp`.
+
+Pure Python throughout; NumPy, when present, only accelerates the
+simplex pivots and changes no results.
+"""
+
+from .backend import IlpSearchResult, run_ilp_search, schedule_block_ilp
+from .bnb import BnbOutcome, IlpOptions, branch_and_bound
+from .encoder import ModelTables, TimeIndexedModel
+from .simplex import INFEASIBLE, OPTIMAL, LinearProgram, LpSolution, solve
+
+__all__ = [
+    "INFEASIBLE",
+    "OPTIMAL",
+    "BnbOutcome",
+    "IlpOptions",
+    "IlpSearchResult",
+    "LinearProgram",
+    "LpSolution",
+    "ModelTables",
+    "TimeIndexedModel",
+    "branch_and_bound",
+    "run_ilp_search",
+    "schedule_block_ilp",
+    "solve",
+]

@@ -1,0 +1,192 @@
+"""Branch and bound over the time-indexed LP relaxation.
+
+A classical LP-based branch and bound, kept deliberately simple because
+its job is *certification*, not speed: depth-first, diving on the
+``x = 1`` branch of the most fractional issue-slot variable, with the
+makespan variable capped at ``incumbent - 1`` at every node so the LP
+itself prunes ("is there anything strictly better in this subtree?" —
+infeasible means no).
+
+Soundness of the exit states:
+
+* ``completed`` — the tree was exhausted: every leaf was integral,
+  LP-infeasible under the cap, or bound-pruned against the *final*
+  incumbent (the incumbent only ever improves, so a prune against an
+  older, larger incumbent still certifies the subtree against the final
+  one).  The final incumbent is provably optimal.
+* otherwise — a node/pivot/time budget ran out.  The certified lower
+  bound is the minimum over the unexplored nodes' parent LP bounds
+  (everything explored or pruned is certified at or above the final
+  incumbent), i.e. a true dual bound on the optimum, reported next to
+  the incumbent as a *certified optimality gap*.
+
+All bounds here are in makespan (``z``) space — the last issue cycle —
+which :mod:`repro.ilp.backend` converts to NOPs via ``Ω = z - (n-1)``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from .encoder import TimeIndexedModel
+from .simplex import INFEASIBLE, OPTIMAL, solve
+
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class IlpOptions:
+    """Budget knobs of the ILP backend (analogue of ``SearchOptions``)."""
+
+    #: Branch-and-bound nodes before giving up (curtailment analogue).
+    max_nodes: int = 2_000
+    #: Simplex pivot budget per node LP.
+    node_pivot_limit: int = 50_000
+    #: Simplex pivot budget across the whole run.
+    total_pivot_limit: int = 2_000_000
+    #: Wall-clock budget in seconds; ``None`` = unlimited.
+    time_limit: Optional[float] = None
+    #: A column within this of 0/1 counts as integral.
+    integrality_tol: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.max_nodes < 1:
+            raise ValueError("max_nodes must be positive")
+        if self.node_pivot_limit < 1 or self.total_pivot_limit < 1:
+            raise ValueError("pivot limits must be positive")
+        if self.time_limit is not None and self.time_limit <= 0:
+            raise ValueError("time limit must be positive")
+        if not 0 < self.integrality_tol < 0.5:
+            raise ValueError("integrality tolerance must be in (0, 0.5)")
+
+
+@dataclass
+class BnbOutcome:
+    """What one branch-and-bound run established (makespan space)."""
+
+    completed: bool
+    proved_at_root: bool
+    timed_out: bool
+    nodes: int
+    pivots: int
+    #: Root LP optimum at the incumbent horizon (the reported dual
+    #: bound); ``None`` when the root LP itself hit a budget.
+    lp_relaxation: Optional[float]
+    #: Certified lower bound on the optimal makespan.
+    best_bound: int
+    pruned_by_bound: int
+
+
+def branch_and_bound(
+    model: TimeIndexedModel,
+    incumbent_makespan: int,
+    price: Callable[[List[int]], int],
+    options: IlpOptions,
+    start: float,
+) -> BnbOutcome:
+    """Prove the incumbent optimal or beat it.
+
+    ``price(dense_order)`` reprices an integral solution through the
+    model's own Ω (the caller keeps the best timing) and returns the
+    achieved makespan, which becomes the new incumbent cap.
+    """
+    lp = model.lp
+    base_lower = list(lp.lower)
+    base_upper = list(lp.upper)
+    zcol = model.z_col
+    ub = incumbent_makespan
+    pivots = 0
+    nodes = 0
+    pruned = 0
+    deadline = None if options.time_limit is None else start + options.time_limit
+
+    def lp_solve(fixings: Tuple[Tuple[int, int], ...], z_cap: int):
+        nonlocal pivots
+        lo = list(base_lower)
+        up = list(base_upper)
+        for j, v in fixings:
+            if v:
+                lo[j] = 1.0
+            else:
+                up[j] = 0.0
+        up[zcol] = float(z_cap)
+        sol = solve(lp, lower=lo, upper=up, pivot_limit=options.node_pivot_limit)
+        pivots += sol.pivots
+        return sol
+
+    # Root LP at the incumbent horizon: always feasible (the incumbent is
+    # a point of the model), and its optimum is the dual bound reported
+    # alongside the search's combinatorial bounds.
+    root = lp_solve((), ub)
+    nodes += 1
+    if root.status != OPTIMAL:
+        # A pivot-limited (or, numerically, "infeasible") root proves
+        # nothing; claim nothing.
+        return BnbOutcome(
+            False, False, False, nodes, pivots, None, model.z_lower, pruned
+        )
+    lp_relaxation = root.objective
+    root_lb = math.ceil(root.objective - _EPS)
+    if root_lb >= ub:
+        return BnbOutcome(
+            True, True, False, nodes, pivots, lp_relaxation, ub, 1
+        )
+
+    #: DFS stack of (fixed (column, value) pairs, parent LP bound).
+    stack: List[Tuple[Tuple[Tuple[int, int], ...], int]] = [((), root_lb)]
+    timed_out = False
+    exhausted = False
+    while stack:
+        if deadline is not None and time.perf_counter() > deadline:
+            timed_out = True
+            break
+        if nodes >= options.max_nodes or pivots >= options.total_pivot_limit:
+            exhausted = True
+            break
+        fixings, parent_lb = stack.pop()
+        if parent_lb >= ub:
+            pruned += 1
+            continue
+        nodes += 1
+        sol = lp_solve(fixings, ub - 1)
+        if sol.status == INFEASIBLE:
+            pruned += 1
+            continue
+        if sol.status != OPTIMAL:
+            stack.append((fixings, parent_lb))
+            exhausted = True
+            break
+        lb = max(parent_lb, math.ceil(sol.objective - _EPS))
+        if lb >= ub:
+            pruned += 1
+            continue
+        frac = model.fractional_col(sol.x, options.integrality_tol)
+        if frac is None:
+            order = model.decode(sol.x)
+            achieved = price(order)
+            if achieved < ub:
+                ub = achieved
+            continue
+        # Dive on x=1 first (pushed last, popped first): assignment rows
+        # collapse fastest along the all-ones path.
+        stack.append((fixings + ((frac, 0),), lb))
+        stack.append((fixings + ((frac, 1),), lb))
+
+    if timed_out or exhausted or stack:
+        best_bound = min((plb for _, plb in stack), default=ub)
+        return BnbOutcome(
+            False,
+            False,
+            timed_out,
+            nodes,
+            pivots,
+            lp_relaxation,
+            min(best_bound, ub),
+            pruned,
+        )
+    return BnbOutcome(
+        True, False, False, nodes, pivots, lp_relaxation, ub, pruned
+    )

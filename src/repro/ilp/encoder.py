@@ -1,0 +1,296 @@
+"""Time-indexed ILP encoding of the NOP-minimization problem.
+
+The branch-and-bound search explores *orders* and prices them with Ω;
+this encoder lowers the same problem — the packed ``_Flat`` tables of
+:mod:`repro.sched.core`: latencies, enqueue times, dependence edges,
+per-pipeline capacity, carry-in floors — into 0/1 *issue-slot*
+variables, so an entirely different solver (simplex + branch and bound,
+:mod:`repro.ilp.bnb`) can certify the search's answers.
+
+The model
+---------
+With ``n`` instructions and issue slots ``t = 0 .. H`` (``H`` comes
+from an incumbent schedule's last issue cycle — any optimal schedule
+issues its last instruction no later than the incumbent does):
+
+* ``x[k,t] = 1`` iff instruction ``k`` issues at cycle ``t``, restricted
+  to a window ``est(k) <= t <= lst(k)`` (below);
+* assignment: ``sum_t x[k,t] == 1`` for every ``k``;
+* slot capacity: ``sum_k x[k,t] <= 1`` — one issue per cycle, the
+  paper's single-issue stream;
+* dependences: for every edge ``d -> k``,
+  ``sum_t t*x[k,t] - sum_t t*x[d,t] >= latency(d)`` (aggregated form);
+* pipeline enqueue: for a pipeline with enqueue time ``e >= 2``, every
+  window of ``e`` consecutive slots holds at most one of its users:
+  ``sum_{sigma(k)=p} sum_{s in [w, w+e-1]} x[k,s] <= 1``;
+* makespan: ``z >= sum_t t*x[k,t]`` for every sink ``k``, and the
+  objective is ``min z``.  Since the Ω identity makes total NOPs equal
+  ``t_last - (n - 1)`` (one issue per cycle plus stalls), minimizing
+  the last issue cycle *is* minimizing NOPs.
+
+Issue windows ``[est, lst]`` shrink the variable count: ``est`` is the
+maximum of the carry-in floors (pipeline busy-until, variable-ready),
+the longest latency path from the roots and the ancestor count (every
+ancestor occupies an earlier slot); ``lst`` is ``H`` minus the larger
+of the downstream latency chain and the descendant count.  All four are
+valid for every schedule that fits the horizon, so no optimal solution
+is cut off.
+
+Independence
+------------
+The encoder reads its latency/enqueue tables through the module-level
+seams :func:`latency_table` / :func:`enqueue_table` and re-derives the
+decoded schedule's η stream from *its own* tables
+(:meth:`ModelTables.timing_of`), never through the search's pricing
+code.  That keeps the certificate checker meaningful as an oracle over
+this backend: a bug injected into the encoder's tables propagates into
+the η stream it publishes and is caught downstream by
+``repro.verify.certificate`` (pinned by the mutation test in
+``tests/test_differential.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..sched.nop_insertion import ScheduleTiming
+from .simplex import LinearProgram
+
+
+def latency_table(flat) -> List[int]:
+    """Latency per dense instruction (seam for mutation testing)."""
+    return list(flat.lat)
+
+
+def enqueue_table(flat) -> List[int]:
+    """Enqueue time per dense instruction (seam for mutation testing)."""
+    return list(flat.enq)
+
+
+class ModelTables:
+    """The encoder's own copy of one ``_Flat`` problem's timing tables.
+
+    Everything the model derives — issue windows, constraint
+    coefficients, and the η repricing of decoded orders — comes from
+    *these* tables, so the whole ILP pipeline stands or falls together
+    under the certificate checker.
+    """
+
+    def __init__(self, flat) -> None:
+        self.flat = flat
+        self.n = flat.n
+        self.idents = flat.idents
+        self.lat = latency_table(flat)
+        self.enq = enqueue_table(flat)
+        self.sig = list(flat.sig)
+        self.preds = flat.preds
+        self.succs = flat.succs
+        self.pipe_enq = list(flat.pipe_enq)
+        self.pipe_last = list(flat.pipe_last)
+        self.var_bound = list(flat.var_bound)
+
+    def timing_of(self, dense_order: List[int]) -> ScheduleTiming:
+        """Ω over ``dense_order`` using the model's tables.
+
+        Same recurrence as ``sched.core._flat_timing`` — earliest legal
+        issue against the previous issue, the pipeline's last enqueue,
+        carry-in floors and every predecessor's completion — but fed
+        from the encoder-owned latency/enqueue copies (see module
+        docstring).
+        """
+        lat, enq, sig, preds = self.lat, self.enq, self.sig, self.preds
+        var_bound = self.var_bound
+        pipe_last = list(self.pipe_last)
+        issue = [0] * self.n
+        etas: List[int] = []
+        issues: List[int] = []
+        prev = -1
+        for k in dense_order:
+            base = prev + 1
+            e = base
+            p = sig[k]
+            if p >= 0:
+                pl = pipe_last[p]
+                if pl is not None:
+                    v = pl + enq[k]
+                    if v > e:
+                        e = v
+            v = var_bound[k]
+            if v is not None and v > e:
+                e = v
+            for d in preds[k]:
+                v = issue[d] + lat[d]
+                if v > e:
+                    e = v
+            issue[k] = e
+            etas.append(e - base)
+            issues.append(e)
+            if p >= 0:
+                pipe_last[p] = e
+            prev = e
+        return ScheduleTiming(
+            tuple(self.idents[k] for k in dense_order),
+            tuple(etas),
+            tuple(issues),
+        )
+
+
+class TimeIndexedModel:
+    """One horizon-``H`` lowering of a :class:`ModelTables` problem."""
+
+    def __init__(self, tables: ModelTables, horizon: int) -> None:
+        self.tables = tables
+        self.n = n = tables.n
+        self.horizon = horizon
+        lat, enq, sig = tables.lat, tables.enq, tables.sig
+
+        # --------------------------------------------------------------
+        # Issue windows.  Dense index order is topological (dependences
+        # point from lower idents to higher), so one forward and one
+        # backward sweep suffice.
+        # --------------------------------------------------------------
+        est = [0] * n
+        anc = [0] * n
+        for k in range(n):
+            e = 0
+            vb = tables.var_bound[k]
+            if vb is not None and vb > e:
+                e = vb
+            p = sig[k]
+            if p >= 0 and tables.pipe_last[p] is not None:
+                e = max(e, tables.pipe_last[p] + enq[k])
+            a = 0
+            for d in tables.preds[k]:
+                a |= anc[d] | (1 << d)
+                e = max(e, est[d] + lat[d])
+            anc[k] = a
+            est[k] = max(e, a.bit_count())
+        chain = [0] * n
+        desc = [0] * n
+        for k in range(n - 1, -1, -1):
+            for s in tables.succs[k]:
+                desc[k] |= desc[s] | (1 << s)
+                chain[k] = max(chain[k], lat[k] + chain[s])
+        lst = [
+            min(horizon - chain[k], horizon - desc[k].bit_count())
+            for k in range(n)
+        ]
+        for k in range(n):
+            if est[k] > lst[k]:
+                raise ValueError(
+                    f"horizon {horizon} admits no issue window for "
+                    f"instruction {tables.idents[k]} "
+                    f"(est {est[k]} > lst {lst[k]})"
+                )
+        self.est, self.lst, self.chain = est, lst, chain
+
+        # --------------------------------------------------------------
+        # Variables: one binary per (instruction, slot) plus makespan z.
+        # --------------------------------------------------------------
+        lp = LinearProgram()
+        col_of: Dict[Tuple[int, int], int] = {}
+        slot_of: List[Tuple[int, int]] = []
+        for k in range(n):
+            for t in range(est[k], lst[k] + 1):
+                col_of[(k, t)] = lp.add_variable(0.0, 1.0)
+                slot_of.append((k, t))
+        # z >= t_k for every k, z >= est+chain for any k, and z >= n-1
+        # (n issues at distinct cycles).  Per-pipeline capacity gives one
+        # more floor — the search's root "users" bound, re-derived from
+        # the encoder's tables: c users of a pipeline with enqueue e
+        # cannot issue closer than e apart, so the last one issues no
+        # earlier than the earliest user's window start plus (c-1)*e.
+        z_lower = max(
+            n - 1, max((est[k] + chain[k] for k in range(n)), default=0)
+        )
+        for p, e in enumerate(tables.pipe_enq):
+            users = [k for k in range(n) if sig[k] == p]
+            if len(users) >= 2:
+                z_lower = max(
+                    z_lower, min(est[k] for k in users) + (len(users) - 1) * e
+                )
+        self.z_col = lp.add_variable(float(z_lower), float(horizon), 1.0)
+        self.z_lower = z_lower
+        self.col_of = col_of
+        self.slot_of = slot_of
+
+        # --------------------------------------------------------------
+        # Rows.
+        # --------------------------------------------------------------
+        for k in range(n):
+            lp.add_row(
+                {col_of[(k, t)]: 1.0 for t in range(est[k], lst[k] + 1)},
+                "==",
+                1.0,
+            )
+        by_slot: Dict[int, List[int]] = {}
+        for (k, t), j in col_of.items():
+            by_slot.setdefault(t, []).append(j)
+        for t in sorted(by_slot):
+            cols = by_slot[t]
+            if len(cols) > 1:
+                lp.add_row({j: 1.0 for j in cols}, "<=", 1.0)
+        for k in range(n):
+            for d in tables.preds[k]:
+                coeffs: Dict[int, float] = {}
+                for t in range(est[k], lst[k] + 1):
+                    if t:
+                        coeffs[col_of[(k, t)]] = float(t)
+                for t in range(est[d], lst[d] + 1):
+                    if t:
+                        coeffs[col_of[(d, t)]] = coeffs.get(col_of[(d, t)], 0.0) - t
+                lp.add_row(coeffs, ">=", float(lat[d]))
+        for p, e in enumerate(tables.pipe_enq):
+            if e < 2:
+                continue  # slot capacity already enforces spacing 1
+            members = [k for k in range(n) if sig[k] == p]
+            if len(members) < 2:
+                continue
+            seen = set()
+            for w in range(0, horizon + 1):
+                cols = []
+                ks = set()
+                for k in members:
+                    for s in range(max(w, est[k]), min(w + e - 1, lst[k]) + 1):
+                        cols.append(col_of[(k, s)])
+                        ks.add(k)
+                if len(ks) < 2:
+                    continue
+                key = frozenset(cols)
+                if key in seen:
+                    continue
+                seen.add(key)
+                lp.add_row({j: 1.0 for j in cols}, "<=", 1.0)
+        for k in range(n):
+            if tables.succs[k]:
+                continue  # only sinks can issue last
+            coeffs = {self.z_col: -1.0}
+            for t in range(est[k], lst[k] + 1):
+                if t:
+                    coeffs[col_of[(k, t)]] = float(t)
+            lp.add_row(coeffs, "<=", 0.0)
+        self.lp = lp
+
+    # ------------------------------------------------------------------
+    # Solution handling.
+    # ------------------------------------------------------------------
+    def fractional_col(
+        self, x: Tuple[float, ...], tol: float = 1e-6
+    ) -> Optional[int]:
+        """The most fractional issue-slot column, or ``None`` if integral."""
+        best_j, best_frac = None, tol
+        for j in range(len(self.slot_of)):
+            frac = min(x[j], 1.0 - x[j])
+            if frac > best_frac:
+                best_j, best_frac = j, frac
+        return best_j
+
+    def decode(self, x: Tuple[float, ...]) -> List[int]:
+        """Dense instruction order of an integral solution (sorted by slot)."""
+        slot = [-1] * self.n
+        for j, (k, t) in enumerate(self.slot_of):
+            if x[j] > 0.5:
+                slot[k] = t
+        if any(s < 0 for s in slot) or len(set(slot)) != self.n:
+            raise ValueError("solution is not a one-slot-per-instruction point")
+        return sorted(range(self.n), key=slot.__getitem__)

@@ -202,6 +202,46 @@ class SearchResult:
         )
 
 
+def root_lower_bound(
+    dag: DependenceDAG,
+    machine: MachineDescription,
+    assignment: Optional[Mapping[int, Optional[int]]] = None,
+) -> int:
+    """Admissible lower bound on any schedule's NOP count (the "root"
+    bound the search tests its first incumbent against).
+
+    The larger of the latency-weighted critical path (the longest
+    ``1 + latency``-chain must fit in ``n`` issue slots plus stalls) and
+    per-pipeline enqueue capacity (``k`` users of a pipeline cannot
+    issue closer than its enqueue time).  Both ignore carry-in
+    conditions, which can only raise the true optimum, so the bound
+    stays admissible for every block.  Exposed so the verify oracle can
+    record the bound that was active when a search was curtailed.
+    """
+    n = len(dag)
+    if n == 0:
+        return 0
+    resolver = SigmaResolver(dag, machine, assignment)
+    chain_below: Dict[int, int] = {}
+    for t in reversed(dag.block.tuples):
+        succ = tuple(dag.successors(t.ident))
+        chain_below[t.ident] = (
+            0
+            if not succ
+            else max(resolver.latency(t.ident) + chain_below[s] for s in succ)
+        )
+    bound = max(0, max(1 + chain_below[i] for i in dag.idents) - n)
+    enqueue_of = {p.ident: p.enqueue_time for p in machine.pipelines}
+    pipe_users: Dict[int, int] = {}
+    for i in dag.idents:
+        pid = resolver.sigma(i)
+        if pid is not None:
+            pipe_users[pid] = pipe_users.get(pid, 0) + 1
+    for pid, k in pipe_users.items():
+        bound = max(bound, ((k - 1) * enqueue_of[pid] + 1) - n)
+    return bound
+
+
 class _Curtailed(Exception):
     """Internal unwind signal: the curtail point (or time limit) was hit."""
 
@@ -215,6 +255,8 @@ def schedule_block(
     initial_conditions: Optional[InitialConditions] = None,
     telemetry: Optional[Telemetry] = None,
     engine: Optional[str] = None,
+    backend: str = "search",
+    ilp_options=None,
 ) -> SearchResult:
     """Find a minimum-NOP schedule of ``dag`` for ``machine``.
 
@@ -246,6 +288,15 @@ def schedule_block(
         silently degrades to ``"fast"`` when NumPy is unavailable (a
         one-line stderr notice, once per process).  See
         :mod:`repro.sched.core`.
+    backend:
+        ``"search"`` (this module's branch-and-bound over orders) or
+        ``"ilp"`` (the time-indexed ILP witness in :mod:`repro.ilp`,
+        which proves the incumbent optimal or beats it and returns an
+        ``IlpSearchResult`` carrying its LP dual bound).  The ILP
+        backend ignores ``engine`` and does not support ``max_live``.
+    ilp_options:
+        Optional :class:`repro.ilp.IlpOptions` budgets; only meaningful
+        with ``backend="ilp"``.
 
     Returns
     -------
@@ -257,6 +308,15 @@ def schedule_block(
     """
     start = time.perf_counter()
     n = len(dag)
+    if backend not in ("search", "ilp"):
+        raise ValueError(
+            f"unknown scheduling backend {backend!r} (expected 'search' or 'ilp')"
+        )
+    if backend == "ilp" and options.max_live is not None:
+        raise ValueError(
+            "the ILP backend does not support a max_live register budget; "
+            "use backend='search'"
+        )
     engine_name = options.engine if engine is None else engine
     if engine_name not in ("fast", "reference", "vector"):
         raise ValueError(
@@ -304,6 +364,16 @@ def schedule_block(
         raise ValueError(
             f"seed schedule needs more than max_live={budget} registers; "
             "run the spill pre-pass (repro.regalloc.insert_spill_code) first"
+        )
+
+    if backend == "ilp":
+        from ..ilp.backend import run_ilp_search
+
+        return _done(
+            run_ilp_search(
+                dag, machine, resolver, options, ilp_options, initial,
+                seed, assignment, start,
+            )
         )
 
     # ------------------------------------------------------------------

@@ -57,6 +57,17 @@ checker in ``repro.verify`` — the oracle, the fuzzer and the
     timing) failed under the synthetic memory, e.g. division by zero.
 ``verify.blocks_failed``
     Block/machine pairs with at least one discrepancy.
+``verify.optimality.runs``
+    Blocks put through the cross-solver ILP witness (``repro.ilp``,
+    oracle ``optimality=True``).
+``verify.optimality.proved``
+    Witness runs whose branch and bound completed — the search
+    incumbent (or a better schedule) was proven optimal.
+``verify.optimality.gaps``
+    Witness runs curtailed by a node/pivot/time budget, leaving a
+    certified optimality gap (incumbent minus dual lower bound).
+``verify.optimality.improved``
+    Witness runs that beat the search incumbent outright.
 
 Resilience taxonomy (``resilience.<kind>``, filled in by the budget
 ladder in ``repro.experiments.runner`` and the supervised parallel

@@ -6,6 +6,7 @@ random block population, or a previously emitted discrepancy report::
 
     repro-verify --kernels --machines all
     repro-verify --blocks 200 --seed 1990
+    repro-verify --optimality --kernels --machines all
     repro-verify --kernels --blocks 50 --machines paper-simulation,scalar
     repro-verify --replay results/discrepancies/fuzz-1990-3-adv-deep-pipe
 
@@ -46,7 +47,7 @@ def build_parser(prog: str = "repro-verify") -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
         parents=[
             common_flags(
-                ("seed", "curtail", "stats-json"),
+                ("seed", "curtail", "stats-json", "optimality"),
                 overrides={
                     "seed": dict(help="fuzz master seed"),
                     "stats-json": dict(
@@ -154,6 +155,7 @@ def _run_checks(
                     brute_cap=args.brute_cap,
                     telemetry=telemetry,
                     emit_dir=args.out,
+                    optimality=args.optimality,
                 )
                 blocks_checked += 1
                 checks += report.checks_run
@@ -171,6 +173,7 @@ def _run_checks(
             brute_cap=args.brute_cap,
             emit_dir=args.out,
             telemetry=telemetry,
+            optimality=args.optimality,
         )
         blocks_checked += fuzz.blocks_checked
         checks += fuzz.checks_run
@@ -198,6 +201,7 @@ def _write_stats(telemetry: Telemetry, args) -> None:
                 "machines": args.machines,
                 "seed": args.seed,
                 "curtail": args.curtail,
+                "optimality": args.optimality,
             },
         )
         print(f"[stats] telemetry written to {args.stats_json}")

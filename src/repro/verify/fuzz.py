@@ -235,6 +235,7 @@ def run_fuzz(
     brute_cap: int = DEFAULT_BRUTE_CAP,
     emit_dir: Optional[str] = None,
     telemetry: Optional[Telemetry] = None,
+    optimality: bool = False,
 ) -> FuzzResult:
     """Drive the differential oracle over a seeded random population.
 
@@ -261,6 +262,7 @@ def run_fuzz(
             brute_cap=brute_cap,
             telemetry=telemetry,
             emit_dir=emit_dir,
+            optimality=optimality,
         )
         checks += report.checks_run
         if not report.ok:

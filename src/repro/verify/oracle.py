@@ -20,6 +20,14 @@ exhaustive enumerations, then:
                                                            complete)
       simulator implicit-interlock cycles == |block| + certified NOPs
 
+  and, under ``optimality=True``, the cross-solver lattice against the
+  ILP witness (:mod:`repro.ilp`, seeded with the search incumbent)::
+
+      lp_relax <= ilp lower bound <= optimum <= ilp <= search   (always)
+                                     ilp == search == brute     (all
+                                                                 complete)
+      root combinatorial bound     <= ilp                       (always)
+
 * never compares a curtailed search as optimal — truncated results are
   flagged and only bounded from above;
 * on any failure, writes a replayable discrepancy report (machine JSON,
@@ -51,7 +59,7 @@ from ..sched.exhaustive import legal_only_search
 from ..sched.list_scheduler import list_schedule
 from ..sched.multi import first_pipeline_assignment, schedule_block_multi
 from ..sched.nop_insertion import compute_timing
-from ..sched.search import SearchOptions, schedule_block
+from ..sched.search import SearchOptions, root_lower_bound, schedule_block
 from ..sched.splitting import schedule_block_split
 from ..simulator.core import HazardError, PipelineSimulator, simulate_schedule
 from ..telemetry import Telemetry
@@ -127,6 +135,8 @@ def check_block(
     brute_cap: int = DEFAULT_BRUTE_CAP,
     telemetry: Optional[Telemetry] = None,
     emit_dir: Optional[str] = None,
+    optimality: bool = False,
+    ilp_options=None,
 ) -> OracleReport:
     """Differentially check every scheduler on one (block, machine) pair.
 
@@ -141,6 +151,18 @@ def check_block(
     emit_dir:
         Directory for replayable discrepancy reports; ``None`` disables
         emission (the report still lists every discrepancy).
+    optimality:
+        Also run the ILP witness (:mod:`repro.ilp`) seeded with the
+        search incumbent, certify its schedule, and assert the
+        cross-solver lattice (``ilp == search`` when both complete,
+        ``ilp <= search`` otherwise, every dual bound below every
+        incumbent).  Skipped under a ``max_live`` register budget, which
+        the ILP backend does not model.
+    ilp_options:
+        Optional :class:`repro.ilp.IlpOptions`; the default caps the
+        witness at 400 branch-and-bound nodes / 10 s per block so a
+        hard block degrades to a certified optimality gap instead of
+        stalling the oracle.
     """
     if options is None:
         options = SearchOptions()
@@ -200,6 +222,58 @@ def check_block(
         search.best.order, search.best.etas, search.final_nops, search_flagged
     )
     certify("search", search.best.order, search.best.etas, assignment)
+
+    # ------------------------------------------------------------------
+    # Cross-solver witness: the ILP backend, seeded with the search
+    # incumbent so its answer can only match or improve it.
+    # ------------------------------------------------------------------
+    ilp = None
+    if optimality and options.max_live is not None:
+        skipped.append("ilp")
+    elif optimality:
+        from ..ilp import IlpOptions
+
+        if ilp_options is None:
+            ilp_options = IlpOptions(max_nodes=400, time_limit=10.0)
+        ilp = schedule_block(
+            dag,
+            machine,
+            options,
+            assignment=assignment,
+            seed=search.best.order,
+            backend="ilp",
+            ilp_options=ilp_options,
+        )
+        if telemetry is not None:
+            telemetry.count("verify.optimality.runs")
+            if ilp.completed:
+                telemetry.count("verify.optimality.proved")
+            else:
+                telemetry.count("verify.optimality.gaps")
+            if ilp.final_nops < search.final_nops:
+                telemetry.count("verify.optimality.improved")
+        ilp_flagged = not ilp.completed
+        if ilp_flagged:
+            curtailed.append("ilp")
+        entry = _schedule_entry(
+            ilp.best.order, ilp.best.etas, ilp.final_nops, ilp_flagged
+        )
+        entry["lower_bound"] = int(ilp.lower_bound)
+        entry["lp_relaxation"] = float(ilp.lp_relaxation)
+        entry["nodes"] = int(ilp.nodes)
+        schedules["ilp"] = entry
+        certify("ilp", ilp.best.order, ilp.best.etas, assignment)
+
+    # Satellite fix: a curtailed search must carry the lower bound that
+    # was active at curtailment, so the optimality gap in report.json is
+    # replayable (not just an unexplained incumbent).
+    root_bound = root_lower_bound(dag, machine, assignment)
+    if search_flagged:
+        bound = root_bound
+        if ilp is not None:
+            bound = max(bound, ilp.lower_bound)
+        schedules["search"]["lower_bound"] = int(bound)
+        schedules["search"]["optimality_gap"] = int(search.final_nops - bound)
 
     # Twin-engine runs: whichever engine `options` selects, the other two
     # must reproduce it bit for bit (checked in the lattice below); with
@@ -321,6 +395,54 @@ def check_block(
                 f"{multi.total_nops} NOPs vs the core search's "
                 f"{search.final_nops}",
             )
+    if ilp is not None:
+        expect(
+            ilp.final_nops <= search.final_nops,
+            "ilp<=search",
+            f"the ILP witness, seeded with the search incumbent, returned "
+            f"{ilp.final_nops} NOPs — worse than the seed's "
+            f"{search.final_nops}",
+        )
+        if ilp.completed and search.completed:
+            expect(
+                ilp.final_nops == search.final_nops,
+                "ilp==search",
+                f"both solvers claim a proven optimum yet disagree: "
+                f"ilp {ilp.final_nops} NOPs vs search {search.final_nops}",
+            )
+        # Every dual bound sits below every incumbent: lp <= lower_bound
+        # <= optimum <= ilp <= search.  (The combinatorial root bound is
+        # a lower bound too, so it must also sit below the ILP incumbent;
+        # no ordering between it and the LP bound is sound in general —
+        # either may win.)
+        expect(
+            ilp.lp_relaxation <= ilp.lower_bound + 1e-9,
+            "lp<=ilp-bound",
+            f"LP relaxation {ilp.lp_relaxation} above the certified "
+            f"lower bound {ilp.lower_bound}",
+        )
+        expect(
+            ilp.lower_bound <= ilp.final_nops,
+            "ilp-bound<=ilp",
+            f"certified lower bound {ilp.lower_bound} above the ILP's "
+            f"own incumbent {ilp.final_nops}",
+        )
+        expect(
+            root_bound <= ilp.final_nops,
+            "root-bound<=ilp",
+            f"combinatorial root bound {root_bound} above the ILP "
+            f"incumbent {ilp.final_nops}",
+        )
+        if search.completed:
+            expect(
+                ilp.lower_bound <= search.final_nops
+                and ilp.lp_relaxation <= search.final_nops + 1e-9,
+                "ilp-bounds<=optimal",
+                f"an ILP dual bound (lb {ilp.lower_bound}, lp "
+                f"{ilp.lp_relaxation}) exceeds the proven optimum "
+                f"{search.final_nops}",
+            )
+
     if exhaustive is not None and brute is not None and exhaustive.exhausted:
         expect(
             brute.best_nops == exhaustive.optimal_nops,
@@ -335,6 +457,21 @@ def check_block(
                 f"search claims a proven optimum of {search.final_nops} "
                 f"NOPs but independent enumeration found "
                 f"{brute.best_nops}",
+            )
+        if ilp is not None and ilp.completed:
+            expect(
+                ilp.final_nops == brute.best_nops,
+                "ilp==brute",
+                f"the ILP claims a proven optimum of {ilp.final_nops} "
+                f"NOPs but independent enumeration found "
+                f"{brute.best_nops}",
+            )
+        if ilp is not None:
+            expect(
+                ilp.lower_bound <= brute.best_nops,
+                "ilp-bound<=brute",
+                f"certified ILP lower bound {ilp.lower_bound} above the "
+                f"enumerated optimum {brute.best_nops}",
             )
 
     # ------------------------------------------------------------------
@@ -384,7 +521,14 @@ def check_block(
     report_dir = None
     if discrepancies and emit_dir is not None:
         report_dir = _emit_report(
-            emit_dir, block, machine, schedules, discrepancies, options, brute_cap
+            emit_dir,
+            block,
+            machine,
+            schedules,
+            discrepancies,
+            options,
+            brute_cap,
+            optimality,
         )
     if telemetry is not None and discrepancies:
         telemetry.count("verify.blocks_failed")
@@ -413,6 +557,7 @@ def _emit_report(
     discrepancies: List[Discrepancy],
     options: SearchOptions,
     brute_cap: int,
+    optimality: bool = False,
 ) -> str:
     """Write one discrepancy directory; returns its path."""
     base = f"{block.name}-{machine.name}"
@@ -439,6 +584,7 @@ def _emit_report(
             "schedules": schedules,
             "curtail": options.curtail,
             "brute_cap": brute_cap,
+            "optimality": optimality,
         },
     )
     return path
@@ -454,12 +600,24 @@ def replay_report(
 
     Reads ``machine.json`` and ``block.txt`` from ``path`` and runs
     :func:`check_block` afresh — on fixed code the same discrepancies
-    reappear; after a fix the report comes back clean.
+    reappear; after a fix the report comes back clean.  A report emitted
+    by an ``optimality`` run replays with the ILP witness on, so
+    recorded optimality gaps are reproducible.
     """
     with open(os.path.join(path, "machine.json")) as fh:
         machine = machine_from_dict(json.load(fh))
     with open(os.path.join(path, "block.txt")) as fh:
         block = parse_block(fh.read(), name=os.path.basename(path.rstrip("/")))
+    optimality = False
+    report_path = os.path.join(path, "report.json")
+    if os.path.exists(report_path):
+        with open(report_path) as fh:
+            optimality = bool(json.load(fh).get("optimality", False))
     return check_block(
-        block, machine, options=options, brute_cap=brute_cap, telemetry=telemetry
+        block,
+        machine,
+        options=options,
+        brute_cap=brute_cap,
+        telemetry=telemetry,
+        optimality=optimality,
     )

@@ -42,12 +42,15 @@ EXPECTED_SURFACE = sorted(
         "machine_from_dict",
         "machine_to_dict",
         # scheduling
+        "IlpOptions",
+        "IlpSearchResult",
         "InitialConditions",
         "SearchOptions",
         "SearchResult",
         "compute_timing",
         "list_schedule",
         "schedule_block",
+        "schedule_block_ilp",
         # verification
         "check_schedule",
         # service

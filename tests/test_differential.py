@@ -25,12 +25,13 @@ from repro.experiments.runner import (
     run_population,
     schedule_generated_block,
 )
+from repro.ilp import IlpOptions
 from repro.ir.dag import COUNT_CAPPED, DependenceDAG
 from repro.machine.presets import get_machine, paper_simulation_machine
 from repro.sched.exhaustive import legal_only_search
 from repro.sched.multi import first_pipeline_assignment
 from repro.sched.nop_insertion import SigmaResolver
-from repro.sched.search import SearchOptions, schedule_block
+from repro.sched.search import SearchOptions, root_lower_bound, schedule_block
 from repro.synth.kernels import KERNELS
 from repro.synth.population import PopulationSpec, sample_population
 from repro.verify import cli as verify_cli
@@ -287,3 +288,179 @@ def test_verify_cli_fuzz_exit_zero(tmp_path):
         ]
     )
     assert status == 0
+
+
+# ----------------------------------------------------------------------
+# The cross-solver ILP witness (--optimality)
+# ----------------------------------------------------------------------
+#: Small witness budgets: in tests a hard block should degrade to a
+#: certified gap quickly, not chew through the full 400-node default.
+_ILP_TEST_OPTIONS = IlpOptions(max_nodes=60, time_limit=5.0)
+
+
+@given(blocks(max_size=6), any_machines())
+@settings(max_examples=15, deadline=None)
+def test_oracle_optimality_consistent_on_random_inputs(block, machine):
+    report = check_block(
+        block,
+        machine,
+        brute_cap=TEST_BRUTE_CAP,
+        optimality=True,
+        ilp_options=_ILP_TEST_OPTIONS,
+    )
+    assert report.ok, report.summary()
+    assert "ilp" in report.schedules
+    assert "lower_bound" in report.schedules["ilp"]
+
+
+def test_ilp_bound_lattice_on_kernels():
+    """The sound bound lattice, on every built-in kernel:
+
+        lp_relaxation <= ilp.lower_bound <= optimum <= ilp.Ω <= search.Ω
+
+    with the search's combinatorial root bound also below ``ilp.Ω``.
+    (The LP and combinatorial bounds themselves are incomparable —
+    either may win — so no ordering between them is asserted.)"""
+    machine = get_machine("paper-simulation")
+    for name, block in kernel_blocks():
+        dag = DependenceDAG(block)
+        assignment = first_pipeline_assignment(dag, machine)
+        search = schedule_block(dag, machine, assignment=assignment)
+        ilp = schedule_block(
+            dag,
+            machine,
+            assignment=assignment,
+            seed=search.best.order,
+            backend="ilp",
+            ilp_options=_ILP_TEST_OPTIONS,
+        )
+        root = root_lower_bound(dag, machine, assignment)
+        assert ilp.lp_relaxation <= ilp.lower_bound + 1e-9, name
+        assert ilp.lower_bound <= ilp.final_nops, name
+        assert root <= ilp.final_nops, name
+        assert ilp.final_nops <= search.final_nops, name
+        if search.completed:
+            assert ilp.lower_bound <= search.final_nops, name
+            if ilp.completed:
+                assert ilp.final_nops == search.final_nops, name
+
+
+def test_injected_encoder_bug_caught_by_certificate(
+    figure3_block, sim_machine, monkeypatch
+):
+    """Mutation smoke test for the ILP tier: an off-by-one latency
+    injected into the *encoder's* table seam flows through the model,
+    the repricing and the published η stream, and is caught by the
+    independent certificate checker — while every schedule produced by
+    the uninfected stack still certifies cleanly."""
+    import repro.ilp.encoder as encoder
+
+    monkeypatch.setattr(
+        encoder,
+        "latency_table",
+        lambda flat: [max(0, v - 1) for v in flat.lat],
+    )
+    report = check_block(
+        figure3_block,
+        sim_machine,
+        brute_cap=TEST_BRUTE_CAP,
+        optimality=True,
+        ilp_options=_ILP_TEST_OPTIONS,
+    )
+    assert not report.ok
+    kinds = {d.invariant for d in report.discrepancies}
+    assert "certificate[ilp]" in kinds
+    for label in ("list", "search", "split", "multi"):
+        assert f"certificate[{label}]" not in kinds
+
+
+@pytest.mark.parametrize("kernel", ["fir3", "lerp4", "determinant3"])
+def test_deep_memory_witness_on_curtailed_kernels(kernel):
+    """Regression for the blocks the search curtails on deep-memory:
+    the witness, seeded with the curtailed incumbent, must match or
+    beat it, certify, and leave either a proof of optimality or a
+    replayable certified gap."""
+    machine = get_machine("deep-memory")
+    block = dict(kernel_blocks())[kernel]
+    dag = DependenceDAG(block)
+    assignment = first_pipeline_assignment(dag, machine)
+    search = schedule_block(
+        dag, machine, SearchOptions(curtail=5_000), assignment=assignment
+    )
+    ilp = schedule_block(
+        dag,
+        machine,
+        assignment=assignment,
+        seed=search.best.order,
+        backend="ilp",
+        ilp_options=IlpOptions(max_nodes=40, time_limit=5.0),
+    )
+    assert ilp.final_nops <= search.final_nops, kernel
+    assert ilp.lower_bound <= ilp.final_nops, kernel
+    assert ilp.optimality_gap >= 0, kernel
+    cert = check_schedule(
+        block, machine, ilp.best.order, ilp.best.etas, assignment=assignment
+    )
+    assert cert.ok, f"{kernel}: {cert.summary()}"
+    assert cert.required_nops == ilp.final_nops, kernel
+    if ilp.completed:
+        assert ilp.lower_bound == ilp.final_nops, kernel
+
+
+def test_curtailed_search_records_replayable_bound():
+    """Satellite fix pin: when the search curtails, report entries must
+    carry the lower bound active at curtailment, so the optimality gap
+    in report.json is replayable rather than an unexplained number."""
+    machine = get_machine("deep-memory")
+    block = dict(kernel_blocks())["fir3"]
+    report = check_block(
+        block,
+        machine,
+        options=SearchOptions(curtail=200),
+        brute_cap=TEST_BRUTE_CAP,
+        optimality=True,
+        ilp_options=IlpOptions(max_nodes=20, time_limit=5.0),
+    )
+    assert report.ok, report.summary()
+    assert "search" in report.curtailed
+    entry = report.schedules["search"]
+    assert entry["lower_bound"] >= 0
+    assert entry["optimality_gap"] == entry["nops"] - entry["lower_bound"]
+    # The recorded bound is at least as strong as the combinatorial
+    # root bound (the witness can only tighten it).
+    dag = DependenceDAG(block)
+    assignment = first_pipeline_assignment(dag, machine)
+    assert entry["lower_bound"] >= root_lower_bound(dag, machine, assignment)
+
+
+def test_optimality_report_roundtrip(tmp_path, figure3_block, sim_machine):
+    """A discrepancy report emitted by an --optimality run replays with
+    the witness on: the flag round-trips through report.json."""
+    with pytest.MonkeyPatch.context() as mp:
+        import repro.ilp.encoder as encoder
+
+        mp.setattr(
+            encoder,
+            "latency_table",
+            lambda flat: [max(0, v - 1) for v in flat.lat],
+        )
+        report = check_block(
+            figure3_block,
+            sim_machine,
+            brute_cap=TEST_BRUTE_CAP,
+            optimality=True,
+            ilp_options=_ILP_TEST_OPTIONS,
+            emit_dir=str(tmp_path),
+        )
+        assert not report.ok
+        data = json.loads(
+            (tmp_path / "figure3-paper-simulation" / "report.json").read_text()
+        )
+        assert data["optimality"] is True
+        assert "ilp" in data["schedules"]
+        assert "lower_bound" in data["schedules"]["ilp"]
+    # Bug gone: the replay re-runs the witness (the flag came back from
+    # disk, not from this call's arguments) and comes back clean.
+    replayed = replay_report(report.report_dir, brute_cap=TEST_BRUTE_CAP)
+    assert replayed.ok, replayed.summary()
+    assert "ilp" in replayed.schedules

@@ -38,7 +38,7 @@ class TestCompileSource:
                 verify_memory={"a": 4},
             )
             nops[scheduler] = result.total_nops
-            if scheduler == "optimal":
+            if scheduler in ("optimal", "ilp"):
                 assert result.search is not None
             else:
                 assert result.search is None
