@@ -11,9 +11,11 @@ perf gate: shared CI runners are far too noisy for speedup assertions,
 so the script always exits 0 once both files parse — correctness
 divergence is already a non-zero exit from ``repro-bench`` itself.
 
-Understands both payload schemas: ``repro-bench/2`` (per-engine
-``speedups`` dicts) and the older ``repro-bench/1`` (a single scalar
-``speedup`` for the fast engine).
+Engine-agnostic across payload schemas: ``repro-bench/2`` and ``/3``
+carry per-engine ``speedups`` dicts (whatever engines they name — the
+table is the union of baseline and fresh, so a new or renamed engine
+never raises); the oldest ``repro-bench/1`` had a single scalar
+``speedup`` for the fast engine.
 """
 
 from __future__ import annotations
@@ -36,10 +38,10 @@ def _load(path: str) -> Optional[dict]:
 def _suite_speedups(payload: dict, suite: str) -> Dict[str, Optional[float]]:
     """Per-engine speedup-over-reference, from either schema version."""
     data = payload.get("suites", {}).get(suite, {})
-    if "speedups" in data:  # repro-bench/2
+    if "speedups" in data:  # repro-bench/2 and later
         return dict(data["speedups"])
     if "speedup" in data:  # repro-bench/1: fast vs reference only
-        return {"fast": data["speedup"], "vector": None}
+        return {"fast": data["speedup"]}
     return {}
 
 
@@ -69,9 +71,12 @@ def render(baseline: dict, fresh: dict) -> str:
     for suite in ("population", "kernels"):
         base_ups = _suite_speedups(baseline, suite)
         fresh_ups = _suite_speedups(fresh, suite)
-        for engine in ("fast", "vector"):
-            if engine not in base_ups and engine not in fresh_ups:
-                continue
+        # Union of engines, baseline order first: a new engine appears
+        # with a "—" baseline, a dropped one with a "—" fresh column.
+        engines = list(base_ups) + [
+            e for e in fresh_ups if e not in base_ups
+        ]
+        for engine in engines:
             base = base_ups.get(engine)
             new = fresh_ups.get(engine)
             lines.append(

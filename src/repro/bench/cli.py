@@ -1,4 +1,4 @@
-"""``repro-bench`` — time the three search engines, write ``BENCH_search.json``.
+"""``repro-bench`` — time the four search engines, write ``BENCH_search.json``.
 
 Examples::
 
@@ -27,8 +27,9 @@ def build_parser(prog: str = "repro-bench") -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog=prog,
         description=(
-            "Benchmark the fast and vector search engines against the "
-            "reference (identical results enforced, schedules certified)."
+            "Benchmark the fast, vector and native search engines against "
+            "the reference (identical results enforced, schedules "
+            "certified)."
         ),
         parents=[
             common_flags(
@@ -98,10 +99,10 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "repro-bench") -> int
     pop = payload["suites"]["population"]
     walls = ", ".join(
         f"{name} {pop['engines'][name]['wall_seconds']:.2f}s"
-        for name in ("fast", "vector", "reference")
+        for name in pop["engines"]
     )
     ups = ", ".join(
-        f"{name} {pop['speedups'][name]}x" for name in ("fast", "vector")
+        f"{name} {pop['speedups'][name]}x" for name in pop["speedups"]
     )
     print(
         f"population: {pop['blocks']} blocks, {pop['omega_calls']} omega "
@@ -111,7 +112,7 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "repro-bench") -> int
     kern = payload["suites"].get("kernels")
     if kern is not None:
         kups = ", ".join(
-            f"{name} {kern['speedups'][name]}x" for name in ("fast", "vector")
+            f"{name} {kern['speedups'][name]}x" for name in kern["speedups"]
         )
         print(
             f"kernels: {len(kern['entries'])} kernel x machine pairs, "

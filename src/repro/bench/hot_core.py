@@ -1,26 +1,27 @@
-"""Three-engine search benchmark (the ``BENCH_search.json`` writer).
+"""Four-engine search benchmark (the ``BENCH_search.json`` writer).
 
 Measurement method
 ------------------
-Per block the three engines run back to back (fast, vector, reference)
-and each call is timed individually; per-engine wall time is the sum of
-its own calls.  Interleaving makes the comparison robust against machine
-load drifting over the run — a bias that back-to-back *batches* are
-fully exposed to.  Every result triple is compared field by field
-(schedule, Ω calls, prune counts, completion flags — everything except
-wall time), and every vector-engine schedule is certified through
-:mod:`repro.verify.certificate`, which shares no code with the
-schedulers.  A benchmark whose engines diverge is not a benchmark, so
-divergence and certification failures are fatal (non-zero exit from the
-CLI) while speedup itself is only reported, never asserted — perf
-assertions belong to the acceptance pipeline, not to a load-sensitive
-smoke job.
+Per block the four engines run back to back (fast, vector, native,
+reference) and each call is timed individually; per-engine wall time is
+the sum of its own calls.  Interleaving makes the comparison robust
+against machine load drifting over the run — a bias that back-to-back
+*batches* are fully exposed to.  Every result quadruple is compared
+field by field (schedule, Ω calls, prune counts, completion flags —
+everything except wall time), and every native-engine schedule is
+certified through :mod:`repro.verify.certificate`, which shares no code
+with the schedulers.  A benchmark whose engines diverge is not a
+benchmark, so divergence and certification failures are fatal (non-zero
+exit from the CLI) while speedup itself is only reported, never
+asserted — perf assertions belong to the acceptance pipeline, not to a
+load-sensitive smoke job.
 
 When NumPy is missing the "vector" engine transparently degrades to a
-second "fast" run (one warning line on stderr); the payload still
-carries a ``vector`` column so downstream trend tooling keeps a stable
-shape, and ``config.env.numpy`` is ``null`` so the run is honest about
-what was measured.
+second "fast" run (one warning line on stderr), and when no C compiler
+is found the "native" engine does the same; the payload still carries
+both columns so downstream trend tooling keeps a stable shape, and
+``config.env.numpy`` / ``config.env.cc`` are ``null`` so the run is
+honest about what was measured.
 
 Suites
 ------
@@ -35,14 +36,15 @@ Suites
     speedup holds on real dependence structure, not just synthetic
     statistics.
 
-Schema (``repro-bench/2``)::
+Schema (``repro-bench/3``)::
 
     {
-      "schema": "repro-bench/2",
+      "schema": "repro-bench/3",
       "config": {
         "blocks": 2000, "master_seed": 1990, "curtail": 50000,
         "repeats": 25,
         "env": {"python": "3.11.7", "numpy": "2.4.6",
+                "cc": {"path": "/usr/bin/cc", "version": "cc ... 12.2.0"},
                 "platform": "Linux-6.8-x86_64", "cpu_count": 8}
       },
       "suites": {
@@ -52,9 +54,10 @@ Schema (``repro-bench/2``)::
           "engines": {
             "fast":      {"wall_seconds": 6.0, "omega_per_sec": 240000.0},
             "vector":    {"wall_seconds": 5.4, "omega_per_sec": 268000.0},
+            "native":    {"wall_seconds": 1.6, "omega_per_sec": 905000.0},
             "reference": {"wall_seconds": 14.0, "omega_per_sec": 103000.0}
           },
-          "speedups": {"fast": 2.33, "vector": 2.59},  # vs reference wall
+          "speedups": {"fast": 2.33, "vector": 2.59, "native": 8.75},
           "identical": true,                 # every result field matched
           "certified": 1964                  # schedules certificate-checked
         },
@@ -62,20 +65,25 @@ Schema (``repro-bench/2``)::
           "entries": [
             {"kernel": "dot4", "machine": "paper_simulation",
              "omega_calls": 123,
-             "seconds": {"fast": ..., "vector": ..., "reference": ...},
-             "speedups": {"fast": ..., "vector": ...}, "identical": true},
+             "seconds": {"fast": ..., "vector": ..., "native": ...,
+                         "reference": ...},
+             "speedups": {"fast": ..., "vector": ..., "native": ...},
+             "identical": true},
             ...
           ],
-          "speedups": {"fast": ..., "vector": ...}  # total ref / total engine
+          "speedups": {...}                  # total ref / total engine
         }
       },
-      "summary": {"speedups": {"fast": 2.33, "vector": 2.59},
+      "summary": {"speedups": {"fast": 2.33, "vector": 2.59,
+                               "native": 8.75},
                   "identical": true, "failures": []}
     }
 
 Schema history: ``repro-bench/1`` had two engines, a scalar ``speedup``
-field (reference/fast) and only ``config.python``; ``/2`` adds the
-vector column, per-engine ``speedups`` and the ``config.env`` record.
+field (reference/fast) and only ``config.python``; ``/2`` added the
+vector column, per-engine ``speedups`` and the ``config.env`` record;
+``/3`` adds the native column and ``config.env.cc`` (the discovered C
+compiler, or ``null`` when the native engine ran its fallback).
 """
 
 from __future__ import annotations
@@ -100,11 +108,14 @@ from ..synth.kernels import KERNELS
 from ..synth.population import PopulationSpec, sample_population
 
 #: Version tag of the ``BENCH_search.json`` payload.
-SCHEMA = "repro-bench/2"
+SCHEMA = "repro-bench/3"
 
 #: Engines timed per block, in run order; "fast" is the comparison base
 #: for identity checks, "reference" the base for speedups.
-ENGINES = ("fast", "vector", "reference")
+ENGINES = ("fast", "vector", "native", "reference")
+
+#: Engines compared field-by-field against "fast" per block.
+_TWINS = tuple(name for name in ENGINES if name != "fast")
 
 #: Deterministic presets the kernel suite runs on (name -> factory).
 KERNEL_MACHINES = (
@@ -122,9 +133,12 @@ def bench_environment() -> Dict:
         numpy_version: Optional[str] = numpy.__version__
     except ImportError:
         numpy_version = None
+    from ..native import compiler_info
+
     return {
         "python": platform.python_version(),
         "numpy": numpy_version,
+        "cc": compiler_info(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
     }
@@ -207,7 +221,7 @@ def bench_population(
     certify: bool = True,
     failures: Optional[List[str]] = None,
 ) -> Dict:
-    """All three engines over the synthetic corpus, interleaved per block."""
+    """All four engines over the synthetic corpus, interleaved per block."""
     machine = paper_simulation_machine()
     options = _engine_options(curtail)
     perf = time.perf_counter
@@ -231,7 +245,7 @@ def bench_population(
         omega += fast.omega_calls
         scheduled += 1
         base = _result_fields(fast)
-        for name in ("vector", "reference"):
+        for name in _TWINS:
             if _result_fields(results[name]) != base:
                 identical = False
                 failures.append(
@@ -241,7 +255,7 @@ def bench_population(
                     f"{results[name].omega_calls})"
                 )
         if certify:
-            problem = _certify(dag, machine, results["vector"], None)
+            problem = _certify(dag, machine, results["native"], None)
             if problem is None:
                 certified += 1
             else:
@@ -301,15 +315,14 @@ def bench_kernels(
                     seconds[name] += perf() - t0
             base = _result_fields(results["fast"])
             identical = all(
-                _result_fields(results[name]) == base
-                for name in ("vector", "reference")
+                _result_fields(results[name]) == base for name in _TWINS
             )
             if not identical:
                 failures.append(
                     f"kernel {kernel.name} on {machine_name}: "
                     "engines diverge"
                 )
-            problem = _certify(dag, machine, results["vector"], assignment)
+            problem = _certify(dag, machine, results["native"], assignment)
             if problem is not None:
                 failures.append(
                     f"kernel {kernel.name} on {machine_name}: {problem}"
@@ -346,8 +359,8 @@ def run_bench(
     """Run every suite; returns ``(payload, failures)``.
 
     ``failures`` lists engine divergences and certificate rejections —
-    empty means the fast and vector engines are (still) bit-for-bit the
-    reference.  ``blocks`` defaults to the ``REPRO_SCALE``-sized
+    empty means the fast, vector and native engines are (still)
+    bit-for-bit the reference.  ``blocks`` defaults to the ``REPRO_SCALE``-sized
     population (the same corpus the experiments schedule).
     """
     if blocks is None:

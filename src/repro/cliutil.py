@@ -29,12 +29,13 @@ COMMON_FLAGS: Dict[str, Tuple[tuple, dict]] = {
     "engine": (
         ("--engine",),
         dict(
-            choices=("fast", "reference", "vector"),
+            choices=("fast", "reference", "vector", "native"),
             default="fast",
             help="search engine: the flattened array core (fast), the "
             "NumPy-batched variant of it (vector; falls back to fast "
-            "when numpy is missing) or the recursive reference — "
-            "bit-for-bit identical results",
+            "when numpy is missing), the compiled C hot core (native; "
+            "falls back to fast when no C compiler is found) or the "
+            "recursive reference — bit-for-bit identical results",
         ),
     ),
     "seed": (

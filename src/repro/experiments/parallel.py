@@ -242,15 +242,16 @@ def run_population_parallel(
         machine = paper_simulation_machine()
     if options is None:
         options = SearchOptions(curtail=curtail)
-    if options.engine == "vector":
-        from ..sched.core import numpy_available, warn_vector_fallback
+    if options.engine in ("vector", "native"):
+        from ..sched.core import resolve_engine
 
-        if not numpy_available():
-            # Normalize in the parent rather than letting every worker
-            # discover the missing dependency on its own: one warning
-            # line per run, byte-identical records, never a crash.
-            warn_vector_fallback()
-            options = dataclasses.replace(options, engine="fast")
+        # Normalize in the parent rather than letting every worker
+        # discover the missing dependency (NumPy / a C compiler) on its
+        # own: one warning line per run, byte-identical records, never a
+        # crash.
+        resolved = resolve_engine(options.engine, telemetry=telemetry)
+        if resolved != options.engine:
+            options = dataclasses.replace(options, engine=resolved)
     if supervisor is None:
         supervisor = SupervisorConfig()
     if budget is not None:

@@ -71,8 +71,11 @@ __all__ = [
     "run_fast_split",
     "run_vector_search",
     "run_vector_split",
+    "run_native_search",
+    "run_native_split",
     "numpy_available",
     "resolve_engine",
+    "warn_native_fallback",
     "VECTOR_MIN_FRONTIER",
 ]
 
@@ -90,6 +93,7 @@ VECTOR_MIN_FRONTIER = 32
 _PL_NONE = -(1 << 40)
 
 _vector_fallback_warned = False
+_native_fallback_warned = False
 
 
 def numpy_available() -> bool:
@@ -109,18 +113,45 @@ def warn_vector_fallback(reason: str = "numpy is not installed") -> None:
         )
 
 
-def resolve_engine(engine: str) -> str:
+def warn_native_fallback(reason: str) -> None:
+    """Print the one-line native->fast fallback notice (once per process)."""
+    global _native_fallback_warned
+    if not _native_fallback_warned:
+        _native_fallback_warned = True
+        print(
+            f"repro: engine 'native' unavailable ({reason}); "
+            "falling back to 'fast' (results are bit-for-bit identical)",
+            file=sys.stderr,
+        )
+
+
+def resolve_engine(engine: str, telemetry=None) -> str:
     """Map a requested engine onto one that can run in this process.
 
-    ``"vector"`` degrades to ``"fast"`` (with a one-line stderr notice,
-    once per process) when NumPy is absent; everything else passes
-    through.  Safe to call in worker processes — the two engines are
-    bit-for-bit identical in every recorded field, so the substitution
-    never changes results, only wall time.
+    ``"vector"`` degrades to ``"fast"`` when NumPy is absent and
+    ``"native"`` degrades to ``"fast"`` when the C kernel cannot be
+    compiled/loaded; everything else passes through.  Each degradation
+    prints a one-line stderr notice once per process (population runs
+    normalize the engine in the *parent*, so ``--workers N`` still warns
+    exactly once total) and bumps the ``search.engine_fallbacks``
+    counter when a telemetry registry is attached.  Safe to call in
+    worker processes — all engines are bit-for-bit identical in every
+    recorded field, so the substitution never changes results, only
+    wall time.
     """
     if engine == "vector" and _np is None:
         warn_vector_fallback()
+        if telemetry is not None:
+            telemetry.count("search.engine_fallbacks")
         return "fast"
+    if engine == "native":
+        from ..native import native_available, unavailable_reason
+
+        if not native_available():
+            warn_native_fallback(unavailable_reason())
+            if telemetry is not None:
+                telemetry.count("search.engine_fallbacks")
+            return "fast"
     return engine
 
 
@@ -380,6 +411,7 @@ def run_fast_search(
     seed: Tuple[int, ...],
     fits_budget,
     start: float,
+    dfs=None,
 ):
     """Everything ``schedule_block`` does after seed validation, flattened.
 
@@ -390,6 +422,11 @@ def run_fast_search(
     reference control flow in ``repro.sched.search`` decision for
     decision; returns a complete ``SearchResult`` (telemetry is recorded
     by the caller).
+
+    ``dfs`` swaps the core loop implementation: ``None`` runs the
+    Python :func:`_run_fast_dfs`; the native engine passes
+    ``repro.native.bindings.native_dfs`` (same signature, same
+    bit-for-bit outcome) so the whole preamble stays shared.
     """
     from .search import SearchResult
 
@@ -473,7 +510,7 @@ def run_fast_search(
                 prune_counts=prune_counts(bounds=1),
             )
 
-    out = _run_fast_dfs(
+    out = (dfs or _run_fast_dfs)(
         flat, dag, options, seed, best, omega_calls, improvements,
         start, chain, users, max_latency,
     )
@@ -488,6 +525,75 @@ def run_fast_search(
         memo_evicted=out.memo_evicted,
         prune_counts=out.prune_counts,
     )
+
+
+def run_native_search(
+    dag: DependenceDAG,
+    machine: MachineDescription,
+    resolver: SigmaResolver,
+    options,
+    initial: Optional[InitialConditions],
+    seed: Tuple[int, ...],
+    fits_budget,
+    start: float,
+):
+    """``run_fast_search`` with the C DFS (``engine="native"``).
+
+    The preamble (seed pricing, heuristic incumbents, root lower bound)
+    is literally :func:`run_fast_search`'s — only the core loop is
+    swapped for the compiled kernel, so every ``SearchResult`` field
+    except ``elapsed_seconds`` is bit-for-bit identical to the fast,
+    vector and reference engines.  Without a usable C compiler this
+    degrades to :func:`run_fast_search` after a one-line notice.
+    """
+    from ..native import bindings as _nb
+
+    if not _nb.native_available():
+        warn_native_fallback(_nb.unavailable_reason())
+        return run_fast_search(
+            dag, machine, resolver, options, initial, seed, fits_budget, start
+        )
+    return run_fast_search(
+        dag, machine, resolver, options, initial, seed, fits_budget, start,
+        dfs=_nb.native_dfs,
+    )
+
+
+def run_native_split(
+    dag: DependenceDAG,
+    machine: MachineDescription,
+    resolver: SigmaResolver,
+    seed: Tuple[int, ...],
+    window: int,
+    curtail_per_window: int,
+    initial: Optional[InitialConditions],
+) -> Tuple[ScheduleTiming, Tuple[Tuple[int, ...], ...], int, bool, Dict[str, int]]:
+    """``run_fast_split`` compiled to C (``engine="native"``).
+
+    Same contract and bit-for-bit identical returns; the flat timing
+    state is carried across windows inside the kernel exactly like the
+    Python splitter carries its own.  Degrades to
+    :func:`run_fast_split` after a one-line notice when the C kernel is
+    unavailable; empty blocks short-circuit to the Python splitter
+    (nothing to schedule, nothing to accelerate).
+    """
+    from ..native import bindings as _nb
+
+    if len(dag) == 0 or not _nb.native_available():
+        if len(dag) > 0:
+            warn_native_fallback(_nb.unavailable_reason())
+        return run_fast_split(
+            dag, machine, resolver, seed, window, curtail_per_window, initial
+        )
+    flat = _Flat(dag, machine, resolver, initial)
+    timing, omega_calls, all_completed, totals = _nb.native_split(
+        flat, seed, window, curtail_per_window
+    )
+    windows = tuple(
+        tuple(seed[w_start:w_start + window])
+        for w_start in range(0, len(seed), window)
+    )
+    return timing, windows, omega_calls, all_completed, totals
 
 
 def _run_fast_dfs(

@@ -121,11 +121,13 @@ class SearchOptions:
     #: array engine in ``repro.sched.core`` — bitmask ready sets, explicit
     #: stack, in-place do/undo), ``"vector"`` (the same engine with NumPy
     #: batch kernels over the flat arrays; degrades to ``"fast"`` with a
-    #: one-line notice when NumPy is absent) or ``"reference"`` (the
-    #: readable recursive formulation below).  All three are bit-for-bit
-    #: identical in every ``SearchResult`` field except
-    #: ``elapsed_seconds``; the reference is kept for ablation and
-    #: differential testing.
+    #: one-line notice when NumPy is absent), ``"native"`` (the same DFS
+    #: compiled to C in ``repro.native`` and bound through ctypes;
+    #: degrades to ``"fast"`` with a one-line notice when no C compiler
+    #: is available) or ``"reference"`` (the readable recursive
+    #: formulation below).  All four are bit-for-bit identical in every
+    #: ``SearchResult`` field except ``elapsed_seconds``; the reference
+    #: is kept for ablation and differential testing.
     engine: str = "fast"
 
     def __post_init__(self) -> None:
@@ -133,10 +135,10 @@ class SearchOptions:
             raise ValueError("curtail point must be positive")
         if self.time_limit is not None and self.time_limit <= 0:
             raise ValueError("time limit must be positive")
-        if self.engine not in ("fast", "reference", "vector"):
+        if self.engine not in ("fast", "reference", "vector", "native"):
             raise ValueError(
                 f"unknown search engine {self.engine!r} "
-                "(expected 'fast', 'reference' or 'vector')"
+                "(expected 'fast', 'reference', 'vector' or 'native')"
             )
         if self.max_memo_entries < 0:
             raise ValueError("max_memo_entries must be non-negative")
@@ -282,12 +284,13 @@ def schedule_block(
         Optional :class:`repro.telemetry.Telemetry` registry; the
         search's prune counters and wall time are folded into it.
     engine:
-        ``"fast"``, ``"vector"`` or ``"reference"``; overrides
-        ``options.engine``.  All engines return bit-for-bit identical
-        results (everything except ``elapsed_seconds``); ``"vector"``
-        silently degrades to ``"fast"`` when NumPy is unavailable (a
-        one-line stderr notice, once per process).  See
-        :mod:`repro.sched.core`.
+        ``"fast"``, ``"vector"``, ``"native"`` or ``"reference"``;
+        overrides ``options.engine``.  All engines return bit-for-bit
+        identical results (everything except ``elapsed_seconds``);
+        ``"vector"`` degrades to ``"fast"`` when NumPy is unavailable
+        and ``"native"`` degrades to ``"fast"`` when no C compiler is
+        available (a one-line stderr notice each, once per process).
+        See :mod:`repro.sched.core` and :mod:`repro.native`.
     backend:
         ``"search"`` (this module's branch-and-bound over orders) or
         ``"ilp"`` (the time-indexed ILP witness in :mod:`repro.ilp`,
@@ -318,15 +321,15 @@ def schedule_block(
             "use backend='search'"
         )
     engine_name = options.engine if engine is None else engine
-    if engine_name not in ("fast", "reference", "vector"):
+    if engine_name not in ("fast", "reference", "vector", "native"):
         raise ValueError(
             f"unknown search engine {engine_name!r} "
-            "(expected 'fast', 'reference' or 'vector')"
+            "(expected 'fast', 'reference', 'vector' or 'native')"
         )
-    if engine_name == "vector":
+    if engine_name in ("vector", "native"):
         from .core import resolve_engine
 
-        engine_name = resolve_engine(engine_name)
+        engine_name = resolve_engine(engine_name, telemetry=telemetry)
 
     def _done(result: SearchResult) -> SearchResult:
         if telemetry is not None:
@@ -397,6 +400,15 @@ def schedule_block(
 
         return _done(
             run_vector_search(
+                dag, machine, resolver, options, initial, seed,
+                fits_budget, start,
+            )
+        )
+    if engine_name == "native":
+        from .core import run_native_search
+
+        return _done(
+            run_native_search(
                 dag, machine, resolver, options, initial, seed,
                 fits_budget, start,
             )

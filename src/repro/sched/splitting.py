@@ -86,16 +86,19 @@ def schedule_block_split(
         ``"fast"`` runs the windows on the flattened array engine in
         :mod:`repro.sched.core`; ``"vector"`` adds that engine's NumPy
         batch window scorer (degrading to ``"fast"`` with a one-line
-        notice when NumPy is absent); ``"reference"`` runs the
-        recursive formulation below.  Results are bit-for-bit identical
-        (everything except ``elapsed_seconds``).
+        notice when NumPy is absent); ``"native"`` runs the windows on
+        the compiled C kernel in :mod:`repro.native` (degrading to
+        ``"fast"`` with a one-line notice when no C compiler is
+        available); ``"reference"`` runs the recursive formulation
+        below.  Results are bit-for-bit identical (everything except
+        ``elapsed_seconds``).
     """
     if window < 1:
         raise ValueError("window must be at least 1 instruction")
-    if engine not in ("fast", "reference", "vector"):
+    if engine not in ("fast", "reference", "vector", "native"):
         raise ValueError(
             f"unknown search engine {engine!r} "
-            "(expected 'fast', 'reference' or 'vector')"
+            "(expected 'fast', 'reference', 'vector' or 'native')"
         )
     start = time.perf_counter()
     if seed is None:
@@ -106,9 +109,16 @@ def schedule_block_split(
 
     resolver = SigmaResolver(dag, machine, assignment)
 
-    if engine in ("fast", "vector"):
+    if engine in ("vector", "native"):
+        from .core import resolve_engine
+
+        engine = resolve_engine(engine, telemetry=telemetry)
+
+    if engine in ("fast", "vector", "native"):
         if engine == "vector":
             from .core import run_vector_split as run_split
+        elif engine == "native":
+            from .core import run_native_split as run_split
         else:
             from .core import run_fast_split as run_split
 

@@ -11,8 +11,8 @@ exhaustive enumerations, then:
 * asserts the invariant lattice between the results::
 
       brute == exhaustive == search  <=  split            (search complete)
-            vector == fast == reference engines           (bit for bit,
-                                                          no time limit)
+            native == vector == fast == reference         (bit for bit,
+                                       engines            no time limit)
                               search <=  list             (always)
                               multi  <=  pinned search    (always)
                               multi  ==  search            (deterministic
@@ -275,15 +275,16 @@ def check_block(
         schedules["search"]["lower_bound"] = int(bound)
         schedules["search"]["optimality_gap"] = int(search.final_nops - bound)
 
-    # Twin-engine runs: whichever engine `options` selects, the other two
-    # must reproduce it bit for bit (checked in the lattice below); with
-    # NumPy absent the "vector" twin degrades to a second "fast" run,
+    # Twin-engine runs: whichever engine `options` selects, the other
+    # three must reproduce it bit for bit (checked in the lattice below);
+    # with NumPy absent the "vector" twin degrades to a second "fast"
+    # run, and without a C compiler the "native" twin does the same,
     # which keeps the check sound (identical, just not independent).
     # Skipped under a wall-clock deadline, where the truncation point
     # legitimately depends on the engine's speed.
     twins: List[Tuple[str, object]] = []
     if options.time_limit is None:
-        for twin_engine in ("fast", "vector", "reference"):
+        for twin_engine in ("fast", "vector", "native", "reference"):
             if twin_engine == options.engine:
                 continue
             twins.append(
@@ -363,7 +364,7 @@ def check_block(
             and twin.proved_by_bound == search.proved_by_bound
             and twin.memo_evicted == search.memo_evicted
             and dict(twin.prune_counts) == dict(search.prune_counts),
-            "vector==fast==reference",
+            "native==vector==fast==reference",
             f"engines diverge: {search.final_nops} NOPs / "
             f"{search.omega_calls} omega calls ({options.engine}) vs "
             f"{twin.final_nops} / {twin.omega_calls} ({twin_engine})",

@@ -114,12 +114,12 @@ class TestIsomorphismCollides:
 
     def test_vector_engine_shares_fast_keys(self, figure3_dag):
         # Regression for the canonical cache contract: a result computed
-        # under "fast" must be a hit for a "vector" request (and vice
-        # versa), so the vector engine must not leak into the key.
+        # under "fast" must be a hit for a "vector" or "native" request
+        # (and vice versa), so no engine may leak into the key.
         machine = paper_simulation_machine()
         keys = {
             _key(figure3_dag, machine, SearchOptions(engine=engine))
-            for engine in ("fast", "vector", "reference")
+            for engine in ("fast", "vector", "native", "reference")
         }
         assert len(keys) == 1
 

@@ -1,8 +1,8 @@
 """The flattened hot core (`repro.sched.core`) against the reference engine.
 
-The fast and vector engines' contract is *bit-for-bit* equality with the
-recursive reference — every ``SearchResult`` field except wall time.
-These tests pin that contract:
+The fast, vector and native engines' contract is *bit-for-bit* equality
+with the recursive reference — every ``SearchResult`` field except wall
+time.  These tests pin that contract:
 
 * differential fuzzing (hypothesis blocks x random + adversarial
   machines) over every engine pair, with each engine's schedule
@@ -10,7 +10,7 @@ These tests pin that contract:
 * the degradation paths: dominance-memo eviction under a tiny
   ``max_memo_entries``, curtail, and wall-clock deadlines (including the
   ``BlockRecord.degraded`` path the experiments publish) — under all
-  three engines;
+  four engines;
 * the vector engine's NumPy batch path (wide ready frontiers), its
   carry-in (non-packable memo key) path, and its graceful fallback to
   the fast engine when NumPy is missing;
@@ -38,9 +38,10 @@ from .strategies import any_machines, blocks
 
 #: The full engine lattice: every member must agree with every other in
 #: all ``SearchResult`` fields except ``elapsed_seconds``.  "vector" is
-#: exercised even without NumPy installed — it then runs the documented
-#: fallback to "fast", which must preserve the same contract.
-ENGINES = ("fast", "vector", "reference")
+#: exercised even without NumPy installed, and "native" even without a C
+#: compiler — each then runs its documented fallback to "fast", which
+#: must preserve the same contract.
+ENGINES = ("fast", "vector", "native", "reference")
 
 
 def _assignment_for(dag, machine):
@@ -76,7 +77,7 @@ def _run_all(dag, machine, options, assignment=None, **kwargs):
         for name in ENGINES
     }
     reference = _fields(results["reference"])
-    for name in ("fast", "vector"):
+    for name in ("fast", "vector", "native"):
         assert _fields(results[name]) == reference, f"{name} != reference"
     return results["fast"]
 
@@ -134,7 +135,7 @@ def test_split_engines_match():
     for gb in members:
         dag = DependenceDAG(gb.block)
         ref = schedule_block_split(dag, machine, window=5, engine="reference")
-        for name in ("fast", "vector"):
+        for name in ("fast", "vector", "native"):
             got = schedule_block_split(dag, machine, window=5, engine=name)
             assert got.timing == ref.timing
             assert got.omega_calls == ref.omega_calls
@@ -162,8 +163,10 @@ def test_memo_eviction_degrades_gracefully():
         )
         ref = schedule_block(dag, machine, options, engine="reference")
         vec = schedule_block(dag, machine, options, engine="vector")
+        nat = schedule_block(dag, machine, options, engine="native")
         assert _fields(fast) == _fields(ref)
         assert _fields(vec) == _fields(ref)
+        assert _fields(nat) == _fields(ref)
         evicted_anywhere = evicted_anywhere or fast.memo_evicted > 0
         # A starved memo may only cost omega calls, never quality.
         full = schedule_block(dag, machine, baseline, engine="fast")
