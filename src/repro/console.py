@@ -44,9 +44,14 @@ SUBCOMMANDS = {
     ),
     "bench": (
         "repro.bench.cli",
-        "benchmark the fast and vector engines vs the reference",
+        "benchmark the search engines vs the reference, or the serve "
+        "daemon under load/chaos (--service)",
     ),
-    "serve": ("repro.service.cli", "batch scheduling daemon with result cache"),
+    "serve": (
+        "repro.service.cli",
+        "batch scheduling daemon: supervised worker pool, result cache, "
+        "graceful drain",
+    ),
 }
 
 

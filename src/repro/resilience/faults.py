@@ -21,6 +21,11 @@ The plan pickles through to worker processes; injection happens in
 :func:`repro.experiments.parallel._chunk_worker` at the chunk's midpoint,
 after some records are already built — so recovery must correctly
 *discard* partial work, not just restart idle workers.
+
+The same plan also drives the scheduling service's worker pool
+(:mod:`repro.service.pool`, ``repro serve --chaos`` / ``repro bench
+--service --chaos``): there ``chunk_id`` is the pool job's sequence
+number, so a given request hits the same faults on every replay.
 """
 
 from __future__ import annotations

@@ -24,6 +24,12 @@ plain, unit-testable state machine:
 Returned chunks are validated before acceptance (:func:`validate_records`):
 a worker that returns records for the wrong blocks, impossible NOP
 counts, or inconsistent flags is treated exactly like a crashed one.
+
+The same policy supervises the scheduling daemon's pre-fork worker pool
+(:mod:`repro.service.pool`): there the unit of work is one request
+block instead of a population chunk, heartbeat staleness is measured
+per dispatched job, and :func:`validate_entry` plays the role of
+:func:`validate_records` for one wire entry.
 """
 
 from __future__ import annotations
@@ -96,6 +102,63 @@ def validate_records(records, expected_indexes: Sequence[int]) -> Optional[str]:
             return f"block {r.index}: completed and degraded are exclusive"
         if r.ladder not in LADDER:
             return f"block {r.index}: unknown ladder step {r.ladder!r}"
+    return None
+
+
+#: Wire-entry keys every honestly-produced service reply carries.
+ENTRY_KEYS = (
+    "name",
+    "order",
+    "etas",
+    "issue_times",
+    "total_nops",
+    "seed_nops",
+    "omega_calls",
+    "completed",
+    "degraded",
+    "ladder",
+    "cache",
+    "shed",
+)
+
+
+def validate_entry(entry, expected_name: str, expected_idents) -> Optional[str]:
+    """Why a pool worker's reply entry is unacceptable (``None`` if fine).
+
+    The service-layer twin of :func:`validate_records`: cheap structural
+    invariants of one ``repro-service/2`` entry.  A reply violating any
+    of them was corrupted in flight (or the worker is broken) and the
+    job must be retried on a fresh worker — never forwarded to a client.
+    """
+    if not isinstance(entry, dict):
+        return f"payload is {type(entry).__name__}, not an entry object"
+    missing = [k for k in ENTRY_KEYS if k not in entry]
+    if missing:
+        return f"entry is missing keys {missing}"
+    if entry["name"] != expected_name:
+        return f"entry names {entry['name']!r}, expected {expected_name!r}"
+    order = entry["order"]
+    if not isinstance(order, (list, tuple)) or sorted(order) != sorted(
+        expected_idents
+    ):
+        return "order is not a permutation of the block's tuples"
+    for seq_key in ("etas", "issue_times"):
+        seq = entry[seq_key]
+        if not isinstance(seq, (list, tuple)) or len(seq) != len(order):
+            return f"{seq_key} does not match the order length"
+    if min(entry["total_nops"], entry["seed_nops"], entry["omega_calls"]) < 0:
+        return "negative NOP or omega count"
+    if entry["total_nops"] > entry["seed_nops"]:
+        return (
+            f"published {entry['total_nops']} NOPs, worse than the "
+            f"list seed ({entry['seed_nops']})"
+        )
+    if entry["completed"] and entry["degraded"]:
+        return "completed and degraded are exclusive"
+    if entry["ladder"] not in LADDER:
+        return f"unknown ladder step {entry['ladder']!r}"
+    if entry["cache"] not in ("hit", "miss", "bypass"):
+        return f"unknown cache status {entry['cache']!r}"
     return None
 
 

@@ -7,16 +7,30 @@ Layers:
   cache key under which isomorphic problems collide.
 * :mod:`repro.service.cache` — :class:`ScheduleCache`, a two-tier
   (in-process LRU over a disk-backed, fsync'd store) memo of full
-  ``SearchResult``s, certificate-verified on insert.
+  ``SearchResult``s, certificate-verified on insert; corrupt disk
+  entries are quarantined, never silently dropped.
+* :mod:`repro.service.pool` — :class:`WorkerPool`, the supervised
+  pre-fork worker fleet that gives the daemon crash isolation: a
+  segfault, hang, or OOM kills one worker, the request retries on a
+  fresh one and degrades honestly past the retry cap.
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the
-  ``repro serve`` batch daemon speaking the ``repro-service/1`` JSON
-  protocol, and its client.
+  ``repro serve`` batch daemon speaking the ``repro-service/2`` JSON
+  protocol (admission control, per-request deadlines, liveness/readiness
+  health, graceful drain), and its retrying client.
 """
 
 from .cache import CacheIntegrityError, ScheduleCache
 from .client import ServiceClient, ServiceClientError
 from .fingerprint import CanonicalForm, fingerprint_problem
-from .server import SchedulingService, ServiceError, create_server
+from .pool import PoolSaturated, WorkerPool
+from .server import (
+    SchedulingService,
+    ServiceDrainingError,
+    ServiceError,
+    ServiceOverloadError,
+    create_server,
+    execute_block,
+)
 
 __all__ = [
     "CanonicalForm",
@@ -25,7 +39,12 @@ __all__ = [
     "CacheIntegrityError",
     "SchedulingService",
     "ServiceError",
+    "ServiceOverloadError",
+    "ServiceDrainingError",
     "create_server",
+    "execute_block",
     "ServiceClient",
     "ServiceClientError",
+    "WorkerPool",
+    "PoolSaturated",
 ]

@@ -17,8 +17,12 @@ Tiers
   ``<path>/<key[:2]>/<key>.json``, written atomically and fsync'd via
   :mod:`repro.ioutil` — concurrent population workers can share a store
   directory without coordination (last writer wins with an identical
-  payload), and a crash can never leave a torn entry.  Unreadable or
-  schema-mismatched entries degrade to misses.
+  payload), and a crash can never leave a torn entry.  Entries from an
+  unknown schema version degrade to plain misses; *corrupt* entries
+  (torn JSON, tampered keys, unreadable files) additionally move to
+  ``<store>/quarantine/<key>.json`` with a ``.reason`` sidecar and count
+  ``service.cache.quarantined``, so corruption is observable instead of
+  an invisible miss.
 
 Safety
 ------
@@ -44,6 +48,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import threading
 import time
 from collections import OrderedDict
@@ -142,21 +147,63 @@ class ScheduleCache:
             while len(self._mem) > self.memory_entries:
                 self._mem.popitem(last=False)
 
-    def _disk_get(self, key: str) -> Optional[Dict[str, Any]]:
+    def _disk_get(
+        self, key: str, telemetry: Optional[Telemetry] = None
+    ) -> Optional[Dict[str, Any]]:
         if self.path is None:
             return None
         try:
             with open(self._entry_path(key), "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
-        except (OSError, ValueError):
+        except FileNotFoundError:
             return None
-        if (
-            not isinstance(entry, dict)
-            or entry.get("schema") != STORE_SCHEMA
-            or entry.get("key") != key
-        ):
+        except OSError as exc:
+            self._quarantine(key, f"unreadable: {exc}", telemetry)
+            return None
+        except ValueError as exc:
+            self._quarantine(key, f"torn or non-JSON payload: {exc}", telemetry)
+            return None
+        if not isinstance(entry, dict):
+            self._quarantine(
+                key, f"payload is {type(entry).__name__}, not an object", telemetry
+            )
+            return None
+        if entry.get("schema") != STORE_SCHEMA:
+            # An unknown schema is a version skew, not corruption: leave
+            # the file for the tooling that understands it and re-solve.
+            return None
+        if entry.get("key") != key:
+            self._quarantine(
+                key, f"key mismatch: file names {entry.get('key')!r}", telemetry
+            )
             return None
         return entry
+
+    def _quarantine(
+        self, key: str, reason: str, telemetry: Optional[Telemetry] = None
+    ) -> None:
+        """Move a corrupt disk entry aside so corruption is observable.
+
+        The entry lands in ``<store>/quarantine/<key>.json`` next to a
+        ``.reason`` sidecar instead of silently degrading to a miss
+        forever; the next solve rewrites the canonical slot.  Best
+        effort — a store too broken to rename in is still just a miss.
+        """
+        assert self.path is not None
+        dst = os.path.join(self.path, "quarantine", f"{key}.json")
+        try:
+            os.makedirs(os.path.dirname(dst), exist_ok=True)
+            os.replace(self._entry_path(key), dst)
+            with open(dst + ".reason", "w", encoding="utf-8") as fh:
+                fh.write(reason + "\n")
+        except OSError:
+            pass
+        if telemetry is not None:
+            telemetry.count("service.cache.quarantined")
+        print(
+            f"repro cache: quarantined corrupt entry {key[:12]}... ({reason})",
+            file=sys.stderr,
+        )
 
     def _disk_put(self, key: str, entry: Dict[str, Any]) -> None:
         if self.path is None:
@@ -165,11 +212,13 @@ class ScheduleCache:
         os.makedirs(os.path.dirname(target), exist_ok=True)
         atomic_write_json(target, entry, indent=None, sort_keys=True)
 
-    def _lookup(self, key: str) -> Optional[Dict[str, Any]]:
+    def _lookup(
+        self, key: str, telemetry: Optional[Telemetry] = None
+    ) -> Optional[Dict[str, Any]]:
         entry = self._mem_get(key)
         if entry is not None:
             return entry
-        entry = self._disk_get(key)
+        entry = self._disk_get(key, telemetry=telemetry)
         if entry is not None:
             self._mem_put(key, entry)
         return entry
@@ -304,7 +353,7 @@ class ScheduleCache:
         form = fingerprint_problem(
             dag, machine, options, assignment, seed, initial_conditions
         )
-        entry = self._lookup(form.key)
+        entry = self._lookup(form.key, telemetry=telemetry)
         if entry is not None and entry.get("n") == form.n:
             result = self._result_from_entry(
                 entry, form.idents, time.perf_counter() - start

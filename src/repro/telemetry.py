@@ -108,6 +108,32 @@ the batch daemon — see ``repro.service``):
     without a cache.
 ``service.requests`` / ``service.blocks``
     Batches answered by the daemon, and blocks across them.
+``service.cache.quarantined``
+    Corrupt disk entries (torn JSON, unreadable, key mismatch) moved to
+    ``<store>/quarantine/`` with a reason sidecar instead of silently
+    degrading to misses forever.
+``service.shed_requests``
+    Batches shed by admission control (429 + ``Retry-After``) — the
+    in-flight cap or the worker-pool queue was full.
+    (Blocks shed by an exhausted request ``deadline`` reuse
+    ``resilience.run_budget_exhausted`` — the deadline *is* a request-
+    scoped run budget.)
+``service.pool.crashes`` / ``service.pool.hangs``
+    Worker processes the pool dispatcher found dead / past a job's hang
+    deadline (killed and respawned).
+``service.pool.corrupt_replies`` / ``service.pool.worker_errors``
+    Worker replies rejected by structural validation, and clean
+    in-worker error replies (both recycle the worker and retry).
+``service.pool.retries`` / ``service.pool.degraded``
+    Job attempts requeued after a worker failure, and jobs degraded to
+    the list-schedule seed after exhausting their retries.
+``service.http.bad_bodies`` / ``service.http.disconnects``
+    Request bodies rejected before parsing (missing/invalid
+    ``Content-Length``, oversized, truncated mid-body) and replies that
+    failed because the client hung up.
+``service.client.retries``
+    Client-side request attempts retried with jittered backoff after a
+    retryable answer (429, 5xx, transport error).
 
 The registry is deliberately dumb: the searches accumulate plain local
 integers in their hot loops and flush them here once per block, so the

@@ -331,7 +331,8 @@ class TestDaemon:
         second = client.schedule(blocks_, "paper-simulation")
         assert [e["cache"] for e in second["entries"]] == ["hit"] * len(blocks_)
         assert second["stats"] == {
-            "hits": len(blocks_), "misses": 0, "bypass": 0
+            "hits": len(blocks_), "misses": 0, "bypass": 0,
+            "degraded": 0, "shed": 0,
         }
         for a, b in zip(first["entries"], second["entries"]):
             # Identical schedules and accounting; only the provenance
@@ -416,7 +417,9 @@ class TestServiceProtocol:
     def test_ok_without_cache_counts_bypass(self):
         reply = self.service.schedule_batch(self._batch())
         assert reply["entries"][0]["cache"] == "bypass"
-        assert reply["stats"] == {"hits": 0, "misses": 0, "bypass": 1}
+        assert reply["stats"] == {
+            "hits": 0, "misses": 0, "bypass": 1, "degraded": 0, "shed": 0,
+        }
 
     @pytest.mark.parametrize(
         "mutation",
@@ -494,7 +497,8 @@ class TestServeSmoke:
             second = client.schedule(kernel_blocks, "paper-simulation")
             assert first["stats"]["hits"] == 0
             assert second["stats"] == {
-                "hits": len(kernel_blocks), "misses": 0, "bypass": 0
+                "hits": len(kernel_blocks), "misses": 0, "bypass": 0,
+                "degraded": 0, "shed": 0,
             }
             for a, b in zip(first["entries"], second["entries"]):
                 assert {k: v for k, v in a.items() if k != "cache"} == {
