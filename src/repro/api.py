@@ -9,7 +9,8 @@ The groups:
 
 - **Compiling** — :func:`compile_source` / :func:`compile_program`
   drive the whole Figure-2 back end; :func:`compile_block` schedules an
-  already-built tuple block.
+  already-built tuple block; :func:`compile_loop` software-pipelines a
+  bounded source loop into a modulo kernel (:class:`LoopCompilation`).
 - **IR** — the tuple form (:class:`IRTuple`, :class:`BasicBlock`,
   :class:`DependenceDAG`) and the paper's linear notation
   (:func:`parse_block` / :func:`format_block`).
@@ -21,9 +22,20 @@ The groups:
   behind :class:`SearchOptions` / :class:`SearchResult`),
   :func:`list_schedule`, :func:`compute_timing` (the Ω procedure), and
   :func:`schedule_block_ilp` (the time-indexed ILP witness behind
-  :class:`IlpOptions` / :class:`IlpSearchResult`).
+  :class:`IlpOptions` / :class:`IlpSearchResult`).  A problem plus its
+  configuration can travel as one :class:`ScheduleRequest`, accepted by
+  :func:`schedule_block`, :func:`schedule_loop` and
+  :func:`fingerprint_problem` alike; every result type satisfies the
+  :class:`ScheduleOutcome` protocol (``schedule`` / ``objective`` /
+  ``provenance`` / ``elapsed_seconds`` / ``completed``).
+- **Loop scheduling** — :func:`schedule_loop` (modulo software
+  pipelining over :class:`LoopBlock`, producing
+  :class:`ModuloScheduleResult`) and :func:`min_initiation_interval`
+  (the MII decomposition); :func:`lower_loop` builds the
+  :class:`LoopBlock` from a parsed ``for`` statement.
 - **Verification** — :func:`check_schedule`, the independent
-  certificate checker.
+  certificate checker, and :func:`check_steady_state`, its
+  cross-iteration counterpart for modulo kernels.
 - **Service** — the canonical-form result cache
   (:class:`ScheduleCache`, :func:`fingerprint_problem`) and the batch
   scheduling daemon's client (:class:`ServiceClient`); see
@@ -53,19 +65,23 @@ from __future__ import annotations
 from . import __version__
 from .driver import (
     CompilationResult,
+    LoopCompilation,
     ProgramCompilation,
     VerificationError,
     compile_block,
+    compile_loop,
     compile_program,
     compile_source,
     verify_compilation,
     verify_program,
 )
+from .frontend import lower_loop
 from .ilp import IlpOptions, IlpSearchResult, schedule_block_ilp
 from .ir import (
     BasicBlock,
     DependenceDAG,
     IRTuple,
+    LoopBlock,
     Opcode,
     format_block,
     parse_block,
@@ -87,11 +103,16 @@ from .machine.serialize import (
 )
 from .sched import (
     InitialConditions,
+    ModuloScheduleResult,
+    ScheduleOutcome,
+    ScheduleRequest,
     SearchOptions,
     SearchResult,
     compute_timing,
     list_schedule,
+    min_initiation_interval,
     schedule_block,
+    schedule_loop,
 )
 from .service import (
     CacheIntegrityError,
@@ -105,14 +126,16 @@ from .service import (
     fingerprint_problem,
 )
 from .telemetry import Telemetry
-from .verify.certificate import check_schedule
+from .verify.certificate import check_schedule, check_steady_state
 
 __all__ = [
     # compiling
     "CompilationResult",
+    "LoopCompilation",
     "ProgramCompilation",
     "VerificationError",
     "compile_block",
+    "compile_loop",
     "compile_program",
     "compile_source",
     "verify_compilation",
@@ -121,8 +144,10 @@ __all__ = [
     "BasicBlock",
     "DependenceDAG",
     "IRTuple",
+    "LoopBlock",
     "Opcode",
     "format_block",
+    "lower_loop",
     "parse_block",
     "run_block",
     # machines
@@ -140,14 +165,20 @@ __all__ = [
     "IlpOptions",
     "IlpSearchResult",
     "InitialConditions",
+    "ModuloScheduleResult",
+    "ScheduleOutcome",
+    "ScheduleRequest",
     "SearchOptions",
     "SearchResult",
     "compute_timing",
     "list_schedule",
+    "min_initiation_interval",
     "schedule_block",
     "schedule_block_ilp",
+    "schedule_loop",
     # verification
     "check_schedule",
+    "check_steady_state",
     # service
     "CacheIntegrityError",
     "CanonicalForm",

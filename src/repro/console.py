@@ -3,8 +3,10 @@
 ::
 
     repro compile -e "b = 15; a = b * a;"
+    repro compile -e "for i in 0..8 { p = a * b; a = a + b; }" --show asm
     repro experiments table7 --blocks 200
     repro verify --kernels --machines all
+    repro verify --loops --machines all
     repro bench --blocks 80
     repro serve --port 8123 --cache /var/cache/repro
 
@@ -32,7 +34,11 @@ PROG = "repro"
 #: subcommand -> (module path, one-line description).  The module must
 #: expose ``main(argv, prog=...) -> int``.
 SUBCOMMANDS = {
-    "compile": ("repro.cli", "compile source (or tuple notation) to assembly"),
+    "compile": (
+        "repro.cli",
+        "compile source (or tuple notation) to assembly; bounded loops "
+        "are modulo-scheduled into a software-pipelined kernel",
+    ),
     "experiments": (
         "repro.experiments.cli",
         "regenerate the paper's tables and figures",
@@ -40,7 +46,7 @@ SUBCOMMANDS = {
     "verify": (
         "repro.verify.cli",
         "differential oracle: certify every scheduler against the checker "
-        "(--optimality adds the ILP witness)",
+        "(--optimality adds the ILP witness, --loops the modulo tier)",
     ),
     "bench": (
         "repro.bench.cli",

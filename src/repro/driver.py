@@ -504,3 +504,148 @@ def verify_program(
                 f"variable {var!r}: simulator produced {got}, source "
                 f"semantics require {want}"
             )
+
+
+# ----------------------------------------------------------------------
+# Loops (for i in 0..N { ... })
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LoopCompilation:
+    """Everything the driver produced for one source loop."""
+
+    program: Program
+    loop: "LoopBlock"  # lowered body + derived carried dependences
+    result: "ModuloScheduleResult"
+    machine: MachineDescription
+    #: Independent steady-state certificate (always checked; a
+    #: compilation with a rejected certificate never leaves the driver).
+    certificate: "LoopCertificateReport"
+
+    @property
+    def ii(self) -> int:
+        return self.result.ii
+
+    @property
+    def list_ii(self) -> int:
+        return self.result.list_ii
+
+    @property
+    def kernel_text(self) -> str:
+        return self.result.kernel_text
+
+
+def compile_loop(
+    source: str,
+    machine: MachineDescription,
+    options: SearchOptions = SearchOptions(),
+    verify_memory: Optional[Mapping[str, int]] = None,
+    trip_count: Optional[int] = None,
+    name: str = "loop",
+    telemetry: Optional[Telemetry] = None,
+) -> LoopCompilation:
+    """Compile one source loop into a certified modulo schedule.
+
+    ``source`` must be a program whose single statement is a ``for``
+    loop.  The body is lowered to a :class:`~repro.ir.loop.LoopBlock`
+    (tuples plus derived cross-iteration dependences) and scheduled by
+    :func:`repro.sched.pipelining.schedule_loop`; the resulting kernel
+    is then re-checked by the independent steady-state certificate —
+    a rejected certificate raises :class:`VerificationError` rather
+    than returning a bad schedule.
+
+    With ``verify_memory``, the flat issue stream of several overlapped
+    iterations is additionally *executed* (against an unrolled copy of
+    the body) and every written variable compared against source
+    semantics; ``trip_count`` overrides the loop bounds for that check
+    (useful when a bound is symbolic).
+    """
+    from .frontend.ast import ForLoop
+    from .frontend.lowering import lower_loop
+    from .ir.interp import run_block
+    from .ir.loop import run_loop
+    from .sched.pipelining import schedule_loop
+    from .verify.certificate import check_steady_state
+
+    program = parse_program(source)
+    loops = [s for s in program.statements if isinstance(s, ForLoop)]
+    if len(loops) != 1 or len(program.statements) != 1:
+        raise ValueError(
+            "compile_loop expects a program whose single statement is a "
+            f"for-loop; got {len(program.statements)} statement(s) of "
+            f"which {len(loops)} loop(s).  Straight-line programs go "
+            "through compile_source/compile_program."
+        )
+    loop = lower_loop(loops[0], name=name)
+
+    result = schedule_loop(
+        loop, machine, options=options, telemetry=telemetry
+    )
+    certificate = check_steady_state(
+        loop.body, machine, result.offsets, result.ii,
+        assignment=result.assignment,
+    )
+    if not certificate.ok:
+        raise VerificationError(
+            "the modulo schedule failed independent certification:\n"
+            + certificate.summary()
+        )
+
+    compiled = LoopCompilation(
+        program=program,
+        loop=loop,
+        result=result,
+        machine=machine,
+        certificate=certificate,
+    )
+    if verify_memory is not None:
+        trips = (
+            trip_count
+            if trip_count is not None
+            else loop.trip_count(dict(verify_memory))
+        )
+        expected = run_program(program, dict(verify_memory))
+        # Execute the *scheduled* overlapped stream: the flat issue
+        # order of all iterations against an unrolled body copy.
+        memory = dict(verify_memory)
+        if loop.loop_var is not None:
+            memory[loop.loop_var] = _resolve_bound(loop.start, memory)
+        if trips > 0:
+            stride = max(loop.body.idents)
+            stream_order = [
+                z + i * stride for _, i, z in result.stream(trips)
+            ]
+            final = dict(
+                run_block(
+                    loop.unrolled(trips), memory=memory, order=stream_order
+                ).memory
+            )
+        else:
+            final = dict(memory)
+        if loop.loop_var is not None:
+            # Scoped binding: the source loop restores/removes it.
+            final.pop(loop.loop_var, None)
+        sequential = run_loop(
+            loop, memory=dict(verify_memory), trip_count=trips
+        )
+        for var in program.variables_written():
+            want = expected.get(var)
+            got = final.get(var)
+            if got != want:
+                raise VerificationError(
+                    f"variable {var!r}: the scheduled stream produced "
+                    f"{got}, source semantics require {want}"
+                )
+            if sequential.get(var) != want:
+                raise VerificationError(
+                    f"variable {var!r}: lowered loop produced "
+                    f"{sequential.get(var)}, source semantics require "
+                    f"{want}"
+                )
+    return compiled
+
+
+def _resolve_bound(bound, env):
+    """Resolve a loop bound (int literal or symbolic name) against env."""
+    if isinstance(bound, int):
+        return bound
+    return env[bound]

@@ -11,6 +11,7 @@ from . import (
     fig6,
     fig7,
     kernels,
+    loops,
     machines,
     prepass,
     stalls,
@@ -31,6 +32,7 @@ __all__ = [
     "ablation",
     "prepass",
     "kernels",
+    "loops",
     "stalls",
     "machines",
     "extension",

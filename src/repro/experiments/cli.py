@@ -43,6 +43,7 @@ from . import (
     fig6,
     fig7,
     kernels,
+    loops,
     machines,
     prepass,
     stalls,
@@ -59,6 +60,7 @@ ALL_EXPERIMENTS = ("table1",) + POPULATION_EXPERIMENTS + (
     "ablation-a2",
     "ablation-a3",
     "kernels",
+    "loops",
     "stalls",
     "machines",
     "extension-x1",
@@ -367,6 +369,8 @@ def _render_experiments(wanted, args, records, results) -> None:
             result = prepass.run_a3()
         elif name == "kernels":
             result = kernels.run()
+        elif name == "loops":
+            result = loops.run()
         elif name == "stalls":
             result = stalls.run()
         elif name == "machines":

@@ -1,11 +1,14 @@
 """Mini front end: the paper's example source language (Figure 3),
-lexed, parsed, and lowered to tuple code."""
+lexed, parsed, and lowered to tuple code — plus the bounded counting
+loop ``for i in 0..N { ... }``, lowered to a loop body block with
+derived cross-iteration dependences."""
 
 from .ast import (
     Assignment,
     Binary,
     Constant,
     Expr,
+    ForLoop,
     Program,
     Unary,
     VarRead,
@@ -13,7 +16,7 @@ from .ast import (
     run_program,
 )
 from .lexer import LexError, Token, TokenKind, tokenize
-from .lowering import lower_program, lower_source
+from .lowering import lower_loop, lower_program, lower_source
 from .parser import ParseError, parse_expression, parse_program
 
 __all__ = [
@@ -25,6 +28,7 @@ __all__ = [
     "Binary",
     "Constant",
     "Expr",
+    "ForLoop",
     "Program",
     "Unary",
     "VarRead",
@@ -33,6 +37,7 @@ __all__ = [
     "ParseError",
     "parse_expression",
     "parse_program",
+    "lower_loop",
     "lower_program",
     "lower_source",
 ]

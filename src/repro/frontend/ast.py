@@ -1,6 +1,7 @@
 """Abstract syntax for the front-end source language.
 
-A program is a sequence of assignment statements; expressions are
+A program is a sequence of assignment statements — optionally including
+bounded counting loops (:class:`ForLoop`) — and expressions are
 constants, variable reads, unary minus, and the four binary operators.
 The AST carries its own exact-arithmetic evaluator, which defines source
 semantics independently of the tuple IR — end-to-end tests compare the
@@ -84,6 +85,91 @@ class Assignment:
         return f"{self.target} = {self.value};"
 
 
+#: A loop bound: a non-negative integer literal or the name of a memory
+#: variable holding one (resolved at execution time).
+Bound = Union[int, str]
+
+
+def _walk_reads(expr: Expr, visit) -> None:
+    if isinstance(expr, VarRead):
+        visit(expr.name)
+    elif isinstance(expr, Unary):
+        _walk_reads(expr.operand, visit)
+    elif isinstance(expr, Binary):
+        _walk_reads(expr.left, visit)
+        _walk_reads(expr.right, visit)
+
+
+@dataclass(frozen=True, slots=True)
+class ForLoop:
+    """A bounded counting loop: ``for var in start..stop { body }``.
+
+    Semantics: the loop variable is a *scoped binding* — it counts
+    ``start, start+1, ..., stop-1`` (``max(0, stop-start)`` iterations)
+    and is not observable after the loop (any outer variable of the same
+    name is shadowed during the loop and restored afterwards).  The body
+    is a straight-line sequence of assignments; it may read the loop
+    variable but never assign it, and loops do not nest.
+    """
+
+    var: str
+    start: Bound
+    stop: Bound
+    body: Tuple[Assignment, ...]
+
+    def __init__(self, var: str, start: Bound, stop: Bound, body):
+        body = tuple(body)
+        if not body:
+            raise ValueError("loop body must contain at least one assignment")
+        for stmt in body:
+            if not isinstance(stmt, Assignment):
+                raise ValueError(
+                    f"loop bodies contain assignments only, not {stmt!r}"
+                )
+            if stmt.target == var:
+                raise ValueError(
+                    f"loop body assigns the loop variable {var!r}"
+                )
+        for bound in (start, stop):
+            if isinstance(bound, int) and bound < 0:
+                raise ValueError("loop bounds must be non-negative")
+        object.__setattr__(self, "var", var)
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "stop", stop)
+        object.__setattr__(self, "body", body)
+
+    @property
+    def reads_var(self) -> bool:
+        """Does any body expression read the loop variable?"""
+        found = [False]
+
+        def visit(name: str) -> None:
+            if name == self.var:
+                found[0] = True
+
+        for stmt in self.body:
+            _walk_reads(stmt.value, visit)
+        return found[0]
+
+    def __str__(self) -> str:
+        inner = " ".join(str(s) for s in self.body)
+        return f"for {self.var} in {self.start}..{self.stop} {{ {inner} }}"
+
+
+def resolve_bound(bound: Bound, env: Mapping[str, Value]) -> int:
+    """Resolve a loop bound to a concrete non-negative trip-count limit."""
+    if isinstance(bound, str):
+        if bound not in env:
+            raise KeyError(f"loop bound variable {bound!r} is undefined")
+        bound = env[bound]
+    value = int(bound)
+    if value != bound:
+        raise ValueError(f"loop bound {bound!r} is not an integer")
+    if value < 0:
+        raise ValueError(f"loop bound {value} is negative")
+    return value
+
+
 @dataclass(frozen=True, slots=True)
 class Barrier:
     """A basic-block boundary (``barrier;``).
@@ -98,7 +184,7 @@ class Barrier:
         return "barrier;"
 
 
-Statement = Union[Assignment, Barrier]
+Statement = Union[Assignment, Barrier, ForLoop]
 
 
 @dataclass(frozen=True)
@@ -141,6 +227,19 @@ class Program:
         for stmt in self.statements:
             if isinstance(stmt, Barrier):
                 continue
+            if isinstance(stmt, ForLoop):
+                # Symbolic bounds are reads; the loop variable is scoped.
+                for bound in (stmt.start, stmt.stop):
+                    if isinstance(bound, str) and bound not in assigned:
+                        out.setdefault(bound, None)
+                assigned.add(stmt.var)
+                # The body's first iteration observes outer memory; walk
+                # it like straight-line code, then commit its targets.
+                for inner in stmt.body:
+                    walk(inner.value)
+                    assigned.add(inner.target)
+                assigned.discard(stmt.var)
+                continue
             walk(stmt.value)
             assigned.add(stmt.target)
         return tuple(out)
@@ -150,12 +249,20 @@ class Program:
         for stmt in self.statements:
             if isinstance(stmt, Barrier):
                 continue
+            if isinstance(stmt, ForLoop):
+                for inner in stmt.body:
+                    seen.setdefault(inner.target, None)
+                continue
             seen.setdefault(stmt.target, None)
         return tuple(seen)
 
     @property
     def has_barriers(self) -> bool:
         return any(isinstance(s, Barrier) for s in self.statements)
+
+    @property
+    def has_loops(self) -> bool:
+        return any(isinstance(s, ForLoop) for s in self.statements)
 
     def split_blocks(self) -> Tuple["Program", ...]:
         """Split at barriers into barrier-free sub-programs (empty
@@ -194,5 +301,28 @@ def run_program(program: Program, memory: Mapping[str, Value]) -> Dict[str, Valu
     for stmt in program:
         if isinstance(stmt, Barrier):
             continue
+        if isinstance(stmt, ForLoop):
+            run_loop_statement(stmt, env)
+            continue
         env[stmt.target] = evaluate_expr(stmt.value, env)
     return env
+
+
+def run_loop_statement(loop: ForLoop, env: Dict[str, Value]) -> None:
+    """Execute one :class:`ForLoop` in place (source-level semantics).
+
+    The loop variable shadows any outer variable of the same name for the
+    duration of the loop and is restored (or removed) afterwards.
+    """
+    start = resolve_bound(loop.start, env)
+    stop = resolve_bound(loop.stop, env)
+    shadowed = loop.var in env
+    saved = env.get(loop.var)
+    for k in range(start, stop):
+        env[loop.var] = k
+        for stmt in loop.body:
+            env[stmt.target] = evaluate_expr(stmt.value, env)
+    if shadowed:
+        env[loop.var] = saved
+    else:
+        env.pop(loop.var, None)

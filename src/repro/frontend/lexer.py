@@ -10,6 +10,8 @@ The language is the one the paper's examples are written in (Figure 3)::
 Assignment statements over integer constants, scalar variables, the four
 binary arithmetic operators, unary minus, and parentheses.  Braces around
 the block are optional; ``//`` and ``/* ... */`` comments are accepted.
+The bounded counting loop ``for i in 0..N { ... }`` adds the ``..`` range
+token (``DOTDOT``).
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ class TokenKind(enum.Enum):
     LBRACE = "{"
     RBRACE = "}"
     SEMI = ";"
+    DOTDOT = ".."
     EOF = "end of input"
 
 
@@ -105,6 +108,11 @@ def tokenize(source: str) -> List[Token]:
             else:
                 col += len(skipped)
             i = end + 2
+            continue
+        if source.startswith("..", i):
+            tokens.append(Token(TokenKind.DOTDOT, "..", line, col))
+            i += 2
+            col += 2
             continue
         if ch in _SINGLE:
             tokens.append(Token(_SINGLE[ch], ch, line, col))

@@ -25,8 +25,17 @@ from __future__ import annotations
 from typing import Dict
 
 from ..ir.block import BasicBlock, BlockBuilder
+from ..ir.loop import LoopBlock, derive_carried_dependences
 from ..ir.ops import Opcode
-from .ast import Binary, Constant, Expr, Program, Unary, VarRead
+from .ast import (
+    Binary,
+    Constant,
+    Expr,
+    ForLoop,
+    Program,
+    Unary,
+    VarRead,
+)
 
 
 def lower_program(
@@ -38,12 +47,18 @@ def lower_program(
 
     The program must be barrier-free (one basic block); split multi-block
     programs with :meth:`Program.split_blocks` and lower each piece (the
-    driver's ``compile_program`` does this).
+    driver's ``compile_program`` does this).  Loops have their own
+    lowering (:func:`lower_loop` / ``repro.driver.compile_loop``).
     """
     if program.has_barriers:
         raise ValueError(
             "program contains barriers; split_blocks() first "
             "(or use repro.driver.compile_program)"
+        )
+    if program.has_loops:
+        raise ValueError(
+            "program contains loops; use lower_loop "
+            "(or repro.driver.compile_loop)"
         )
     builder = BlockBuilder(name)
     current: Dict[str, int] = {}  # variable -> tuple holding its value
@@ -74,6 +89,42 @@ def lower_program(
             current[stmt.target] = value
 
     return builder.build()
+
+
+def lower_loop(
+    loop: ForLoop,
+    name: str = "loop",
+    reuse_values: bool = True,
+) -> LoopBlock:
+    """Lower one bounded loop to a :class:`~repro.ir.loop.LoopBlock`.
+
+    The body is lowered exactly like a straight-line block (value reuse
+    within the iteration; nothing is reused *across* iterations — every
+    cross-iteration value flows through memory, which is what makes the
+    carried dependences derivable from the tuples alone).  When the body
+    reads the loop counter, the lowered body ends with the induction
+    update ``var = var + 1`` and executing the loop requires seeding
+    ``var`` with ``start``; otherwise the counter is dead and omitted.
+    """
+    statements = list(loop.body)
+    loop_var = None
+    if loop.reads_var:
+        loop_var = loop.var
+        from .ast import Assignment
+
+        statements.append(
+            Assignment(
+                loop.var, Binary("+", VarRead(loop.var), Constant(1))
+            )
+        )
+    body = lower_program(Program(statements), name, reuse_values)
+    return LoopBlock(
+        body=body,
+        carried=derive_carried_dependences(body),
+        loop_var=loop_var,
+        start=loop.start,
+        stop=loop.stop,
+    )
 
 
 def lower_source(source: str, name: str = "block", reuse_values: bool = True) -> BasicBlock:

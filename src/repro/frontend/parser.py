@@ -3,15 +3,21 @@
 Grammar (standard precedence, left-associative)::
 
     program    := "{" statement* "}" | statement*
-    statement  := IDENT "=" expression ";" | "barrier" ";"
+    statement  := assignment | "barrier" ";" | loop
+    assignment := IDENT "=" expression ";"
+    loop       := "for" IDENT "in" bound ".." bound "{" assignment+ "}"
+    bound      := NUMBER | IDENT
     expression := term (("+" | "-") term)*
     term       := factor (("*" | "/") factor)*
     factor     := "-" factor | "(" expression ")" | NUMBER | IDENT
+
+Loops do not nest, never contain barriers, and never assign their loop
+variable — each restriction is a :class:`ParseError`.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Union
 
 from .ast import (
     Assignment,
@@ -19,6 +25,7 @@ from .ast import (
     Binary,
     Constant,
     Expr,
+    ForLoop,
     Program,
     Unary,
     VarRead,
@@ -26,7 +33,7 @@ from .ast import (
 from .lexer import Token, TokenKind, tokenize
 
 #: Reserved words — not usable as variable names.
-KEYWORDS = frozenset({"barrier"})
+KEYWORDS = frozenset({"barrier", "for", "in"})
 
 
 class ParseError(ValueError):
@@ -84,13 +91,67 @@ class _Parser:
         if token.text == "barrier":
             self._expect(TokenKind.SEMI)
             return Barrier()
-        if token.text in KEYWORDS:  # pragma: no cover - single keyword today
+        if token.text == "for":
+            return self.parse_loop(token)
+        if token.text in KEYWORDS:
             raise ParseError(f"{token.text!r} is a reserved word", token)
         target = token.text
         self._expect(TokenKind.ASSIGN)
         value = self.parse_expression()
         self._expect(TokenKind.SEMI)
         return Assignment(target, value)
+
+    def parse_loop(self, for_token: Token) -> ForLoop:
+        var_token = self._expect(TokenKind.IDENT)
+        if var_token.text in KEYWORDS:
+            raise ParseError(
+                f"{var_token.text!r} is a reserved word", var_token
+            )
+        in_token = self._expect(TokenKind.IDENT)
+        if in_token.text != "in":
+            raise ParseError("expected 'in'", in_token)
+        start = self.parse_bound()
+        self._expect(TokenKind.DOTDOT)
+        stop = self.parse_bound()
+        self._expect(TokenKind.LBRACE)
+        body: List[Assignment] = []
+        while self._current.kind is not TokenKind.RBRACE:
+            if self._current.kind is TokenKind.EOF:
+                raise ParseError("unterminated loop body", self._current)
+            token = self._expect(TokenKind.IDENT)
+            if token.text == "for":
+                raise ParseError("loops cannot be nested", token)
+            if token.text == "barrier":
+                raise ParseError(
+                    "'barrier' is not allowed inside a loop", token
+                )
+            if token.text in KEYWORDS:
+                raise ParseError(f"{token.text!r} is a reserved word", token)
+            if token.text == var_token.text:
+                raise ParseError(
+                    f"cannot assign to the loop variable {token.text!r}",
+                    token,
+                )
+            self._expect(TokenKind.ASSIGN)
+            value = self.parse_expression()
+            self._expect(TokenKind.SEMI)
+            body.append(Assignment(token.text, value))
+        self._expect(TokenKind.RBRACE)
+        if not body:
+            raise ParseError("loop body must not be empty", for_token)
+        return ForLoop(var_token.text, start, stop, body)
+
+    def parse_bound(self) -> Union[int, str]:
+        token = self._current
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return int(token.text)
+        if token.kind is TokenKind.IDENT:
+            if token.text in KEYWORDS:
+                raise ParseError(f"{token.text!r} is a reserved word", token)
+            self._advance()
+            return token.text
+        raise ParseError("expected a loop bound (number or variable)", token)
 
     def parse_expression(self) -> Expr:
         node = self.parse_term()

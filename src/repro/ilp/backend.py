@@ -39,6 +39,9 @@ class IlpSearchResult(SearchResult):
     a true optimality gap.
     """
 
+    #: Backend provenance (``ScheduleOutcome`` protocol).
+    provenance = "ilp"
+
     #: Root LP optimum in NOPs (makespan relaxation minus ``n - 1``).
     lp_relaxation: float = 0.0
     #: Certified lower bound on the optimal NOP count.

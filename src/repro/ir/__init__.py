@@ -9,6 +9,13 @@ from .interp import (
     blocks_equivalent,
     run_block,
 )
+from .loop import (
+    LoopBlock,
+    LoopCarriedDep,
+    concatenate_iterations,
+    derive_carried_dependences,
+    run_loop,
+)
 from .ops import BINARY_ARITHMETIC, VALUE_PRODUCING_OPCODES, Opcode, parse_opcode
 from .textual import TupleSyntaxError, format_block, format_tuple, parse_block
 from .tuples import (
@@ -57,6 +64,11 @@ __all__ = [
     "UndefinedVariableError",
     "blocks_equivalent",
     "run_block",
+    "LoopBlock",
+    "LoopCarriedDep",
+    "concatenate_iterations",
+    "derive_carried_dependences",
+    "run_loop",
     "TupleSyntaxError",
     "format_block",
     "format_tuple",

@@ -32,11 +32,23 @@ from .nop_insertion import (
     sequential_etas,
     total_nops,
 )
+from .pipelining import (
+    DEFAULT_PLACEMENT_BUDGET,
+    MiiReport,
+    ModuloScheduleResult,
+    min_initiation_interval,
+    modulo_feasible,
+    schedule_loop,
+    steady_state_offsets,
+)
 from .search import (
     DEFAULT_CURTAIL,
+    ScheduleOutcome,
+    ScheduleRequest,
     SearchOptions,
     SearchResult,
     schedule_block,
+    unsupported_backend_option,
 )
 from .splitting import (
     DEFAULT_WINDOW,
@@ -63,9 +75,19 @@ __all__ = [
     "exhaustive_search_size",
     "legal_only_search",
     "DEFAULT_CURTAIL",
+    "ScheduleOutcome",
+    "ScheduleRequest",
     "SearchOptions",
     "SearchResult",
     "schedule_block",
+    "unsupported_backend_option",
+    "DEFAULT_PLACEMENT_BUDGET",
+    "MiiReport",
+    "ModuloScheduleResult",
+    "min_initiation_interval",
+    "modulo_feasible",
+    "schedule_loop",
+    "steady_state_offsets",
     "MultiScheduleResult",
     "first_pipeline_assignment",
     "round_robin_assignment",

@@ -65,9 +65,23 @@ from __future__ import annotations
 import sys
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from functools import cached_property
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
 
+from ..ir.block import BasicBlock
 from ..ir.dag import DependenceDAG
+from ..ir.loop import LoopBlock
 from ..machine.machine import MachineDescription
 from ..telemetry import Telemetry, prune_counts
 from .heuristics import greedy_schedule, gross_schedule
@@ -166,6 +180,120 @@ class SearchOptions:
         return replace(self, curtail=curtail)
 
 
+def unsupported_backend_option(backend: str, field_name: str) -> ValueError:
+    """Structured error for a request field a backend cannot honor.
+
+    Every unsupported backend/option combination raises through here so
+    the message shape is uniform and the offending field is carried as
+    machine-readable attributes (``error.backend`` / ``error.field``).
+    """
+    error = ValueError(
+        f"the {backend!r} backend does not support {field_name!r}; "
+        "use backend='search'"
+    )
+    error.backend = backend
+    error.field = field_name
+    return error
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """One self-contained scheduling problem: what to schedule, on which
+    machine, under which configuration.
+
+    The unified request form accepted by :func:`schedule_block`, the new
+    loop entry :func:`repro.sched.pipelining.schedule_loop`, and the
+    service fingerprint path
+    (:func:`repro.service.fingerprint.fingerprint_problem`) — one object
+    to build, log, and hand around instead of a sprawl of keyword
+    arguments.  The legacy keyword signatures remain as thin wrappers
+    that build a request internally; nothing is deprecated.
+
+    ``problem`` is a :class:`~repro.ir.dag.DependenceDAG` or
+    :class:`~repro.ir.block.BasicBlock` for block scheduling, or a
+    :class:`~repro.ir.loop.LoopBlock` for modulo loop scheduling.
+    """
+
+    problem: Union[DependenceDAG, BasicBlock, LoopBlock]
+    machine: MachineDescription
+    options: SearchOptions = SearchOptions()
+    backend: str = "search"
+    engine: Optional[str] = None
+    assignment: Optional[PipelineAssignment] = None
+    seed: Optional[Tuple[int, ...]] = None
+    initial_conditions: Optional[InitialConditions] = None
+    ilp_options: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(
+            self.problem, (DependenceDAG, BasicBlock, LoopBlock)
+        ):
+            raise TypeError(
+                "problem must be a DependenceDAG, BasicBlock or LoopBlock, "
+                f"not {type(self.problem).__name__}"
+            )
+        if self.backend not in ("search", "ilp"):
+            raise ValueError(
+                f"unknown scheduling backend {self.backend!r} "
+                "(expected 'search' or 'ilp')"
+            )
+        if self.engine is not None and self.engine not in (
+            "fast", "reference", "vector", "native",
+        ):
+            raise ValueError(
+                f"unknown search engine {self.engine!r} "
+                "(expected 'fast', 'reference', 'vector' or 'native')"
+            )
+        if self.seed is not None:
+            object.__setattr__(self, "seed", tuple(self.seed))
+
+    @property
+    def is_loop(self) -> bool:
+        return isinstance(self.problem, LoopBlock)
+
+    @cached_property
+    def dag(self) -> DependenceDAG:
+        """The problem as a dependence DAG (built on demand from a block;
+        a loop request exposes its *body* DAG)."""
+        if isinstance(self.problem, DependenceDAG):
+            return self.problem
+        if isinstance(self.problem, LoopBlock):
+            return DependenceDAG(self.problem.body)
+        return DependenceDAG(self.problem)
+
+    @property
+    def loop(self) -> LoopBlock:
+        if not isinstance(self.problem, LoopBlock):
+            raise TypeError("this request's problem is not a LoopBlock")
+        return self.problem
+
+
+@runtime_checkable
+class ScheduleOutcome(Protocol):
+    """The protocol every scheduling result satisfies.
+
+    :class:`SearchResult`, :class:`repro.ilp.backend.IlpSearchResult`
+    and :class:`repro.sched.pipelining.ModuloScheduleResult` all expose:
+
+    * ``schedule`` — the winning :class:`ScheduleTiming` (for a loop
+      result, the steady-state kernel window);
+    * ``objective`` — the minimized integer (total NOPs for blocks, the
+      initiation interval for loops);
+    * ``provenance`` — which backend produced it (``"search"``,
+      ``"ilp"``, ``"modulo"``);
+    * ``elapsed_seconds`` / ``completed`` — wall time and whether the
+      result is provably optimal.
+
+    ``isinstance(result, ScheduleOutcome)`` works at runtime.
+    """
+
+    schedule: ScheduleTiming
+    objective: int
+    provenance: str
+    elapsed_seconds: float
+    completed: bool
+
+
 @dataclass(frozen=True)
 class SearchResult:
     """Outcome of one optimal-scheduling run."""
@@ -183,10 +311,27 @@ class SearchResult:
     #: Prune events by kind (see ``repro.telemetry.PRUNE_KINDS``).
     prune_counts: Mapping[str, int] = field(default_factory=dict)
 
+    #: Backend provenance (:class:`ScheduleOutcome` protocol).  The ILP
+    #: subclass overrides this with ``"ilp"``, the modulo scheduler's
+    #: result carries ``"modulo"``.
+    provenance = "search"
+
     @property
     def optimal(self) -> bool:
         """Provably optimal (alias of ``completed``)."""
         return self.completed
+
+    @property
+    def schedule(self) -> ScheduleTiming:
+        """The winning timing (:class:`ScheduleOutcome` protocol; alias
+        of ``best``)."""
+        return self.best
+
+    @property
+    def objective(self) -> int:
+        """The minimized integer — total NOPs (:class:`ScheduleOutcome`
+        protocol; alias of ``final_nops``)."""
+        return self.best.total_nops
 
     @property
     def initial_nops(self) -> int:
@@ -249,8 +394,8 @@ class _Curtailed(Exception):
 
 
 def schedule_block(
-    dag: DependenceDAG,
-    machine: MachineDescription,
+    dag: Union[DependenceDAG, ScheduleRequest],
+    machine: Optional[MachineDescription] = None,
     options: SearchOptions = SearchOptions(),
     assignment: Optional[PipelineAssignment] = None,
     seed: Optional[Sequence[int]] = None,
@@ -265,7 +410,10 @@ def schedule_block(
     Parameters
     ----------
     dag:
-        Dependence DAG of the block to schedule.
+        Dependence DAG of the block to schedule — or a complete
+        :class:`ScheduleRequest`, in which case every other
+        problem-defining parameter must stay at its default (only
+        ``telemetry`` may be combined with a request).
     machine:
         Target machine description; must be deterministic (every
         operation on at most one pipeline) unless ``assignment`` pins
@@ -296,7 +444,9 @@ def schedule_block(
         ``"ilp"`` (the time-indexed ILP witness in :mod:`repro.ilp`,
         which proves the incumbent optimal or beats it and returns an
         ``IlpSearchResult`` carrying its LP dual bound).  The ILP
-        backend ignores ``engine`` and does not support ``max_live``.
+        backend supports neither an ``engine`` override nor
+        ``max_live``; both raise the structured ``ValueError`` of
+        :func:`unsupported_backend_option`, naming the field.
     ilp_options:
         Optional :class:`repro.ilp.IlpOptions` budgets; only meaningful
         with ``backend="ilp"``.
@@ -310,16 +460,56 @@ def schedule_block(
         truncated the search and ``best`` is the incumbent.
     """
     start = time.perf_counter()
+    if isinstance(dag, ScheduleRequest):
+        request = dag
+        overridden = [
+            name
+            for name, value, default in (
+                ("machine", machine, None),
+                ("options", options, SearchOptions()),
+                ("assignment", assignment, None),
+                ("seed", seed, None),
+                ("initial_conditions", initial_conditions, None),
+                ("engine", engine, None),
+                ("backend", backend, "search"),
+                ("ilp_options", ilp_options, None),
+            )
+            if value != default
+        ]
+        if overridden:
+            raise ValueError(
+                "pass either a ScheduleRequest or the legacy keyword "
+                f"arguments, not both (also given: {', '.join(overridden)})"
+            )
+        if request.is_loop:
+            raise TypeError(
+                "this request carries a LoopBlock; use "
+                "repro.sched.pipelining.schedule_loop for loop problems"
+            )
+        dag = request.dag
+        machine = request.machine
+        options = request.options
+        assignment = request.assignment
+        seed = request.seed
+        initial_conditions = request.initial_conditions
+        engine = request.engine
+        backend = request.backend
+        ilp_options = request.ilp_options
+    elif isinstance(dag, BasicBlock):
+        dag = DependenceDAG(dag)
+    if machine is None:
+        raise TypeError(
+            "machine is required unless a ScheduleRequest is passed"
+        )
     n = len(dag)
     if backend not in ("search", "ilp"):
         raise ValueError(
             f"unknown scheduling backend {backend!r} (expected 'search' or 'ilp')"
         )
     if backend == "ilp" and options.max_live is not None:
-        raise ValueError(
-            "the ILP backend does not support a max_live register budget; "
-            "use backend='search'"
-        )
+        raise unsupported_backend_option("ilp", "max_live")
+    if backend == "ilp" and engine is not None:
+        raise unsupported_backend_option("ilp", "engine")
     engine_name = options.engine if engine is None else engine
     if engine_name not in ("fast", "reference", "vector", "native"):
         raise ValueError(

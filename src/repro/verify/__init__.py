@@ -19,29 +19,47 @@ package is the trust anchor that does not share that code:
 * :mod:`repro.verify.fuzz` — seeded deterministic block/machine
   generation (no hypothesis dependency) plus the adversarial machine
   gallery, for the ``repro-verify`` CLI and CI.
+* :mod:`repro.verify.loops` — the loop tier: modulo schedules checked
+  against the independent steady-state certificate, the list-schedule
+  steady state, and (tiny bodies) a complete brute-force minimum-II
+  enumeration.
 """
 
 from .certificate import (
+    BruteForceIIResult,
     BruteForceResult,
     CertificateReport,
+    LoopCertificateReport,
     Violation,
+    brute_force_min_ii,
     brute_force_optimum,
     check_schedule,
+    check_steady_state,
+    loop_ii_lower_bound,
 )
 from .fuzz import FuzzResult, adversarial_machines, run_fuzz
+from .loops import LoopOracleReport, check_loop, run_loop_suite
 from .oracle import Discrepancy, OracleReport, check_block, replay_report
 
 __all__ = [
+    "BruteForceIIResult",
     "BruteForceResult",
     "CertificateReport",
     "Discrepancy",
     "FuzzResult",
+    "LoopCertificateReport",
+    "LoopOracleReport",
     "OracleReport",
     "Violation",
     "adversarial_machines",
+    "brute_force_min_ii",
     "brute_force_optimum",
     "check_block",
+    "check_loop",
     "check_schedule",
+    "check_steady_state",
+    "loop_ii_lower_bound",
     "replay_report",
+    "run_loop_suite",
     "run_fuzz",
 ]

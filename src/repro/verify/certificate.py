@@ -446,3 +446,489 @@ def brute_force_optimum(
         sys.setrecursionlimit(old_limit)
     assert best is not None
     return BruteForceResult(best[0], best[1], best[2], seen, exhausted)
+
+
+# ----------------------------------------------------------------------
+# Loop certificates: steady-state modulo schedules, checked from scratch
+# ----------------------------------------------------------------------
+def _shifted_copy(block: BasicBlock, stride: int, copies: int) -> BasicBlock:
+    """Unroll ``block`` ``copies`` times, renumbering copy ``j`` by
+    ``j * stride`` (idents and result references alike).
+
+    A local re-statement of ``repro.ir.loop.concatenate_iterations`` —
+    kept separate so a renumbering bug there cannot also hide here.
+    """
+    from ..ir.tuples import IRTuple, RefOperand
+
+    def shift(operand, offset):
+        if isinstance(operand, RefOperand):
+            return RefOperand(operand.ref + offset)
+        return operand
+
+    tuples = []
+    for j in range(copies):
+        offset = j * stride
+        for t in block:
+            tuples.append(
+                IRTuple(
+                    t.ident + offset,
+                    t.op,
+                    shift(t.alpha, offset),
+                    shift(t.beta, offset),
+                )
+            )
+    return BasicBlock(tuple(tuples), name=f"{block.name}@x{copies}")
+
+
+def _loop_dependences(
+    body: BasicBlock,
+) -> List[Tuple[int, int, int]]:
+    """``(producer, consumer, distance)`` edges of the loop, re-derived.
+
+    Intra-iteration edges (distance 0) come from
+    :func:`derive_dependences` on the body itself; carried edges
+    (distance 1) are the edges of a two-copy unroll that cross the copy
+    boundary, mapped back to body idents.  In this language a dependence
+    links a value use (or variable access) to its *most recent*
+    producer, so no carried edge ever skips a whole iteration: distance
+    1 captures them all, which the K-copy replay check re-confirms.
+    """
+    stride = max(body.idents)
+    edges: List[Tuple[int, int, int]] = []
+    for consumer, ps in derive_dependences(body).items():
+        for producer in ps:
+            edges.append((producer, consumer, 0))
+    pair = _shifted_copy(body, stride, 2)
+    for consumer, ps in derive_dependences(pair).items():
+        if consumer <= stride:
+            continue
+        for producer in ps:
+            if producer <= stride:
+                edges.append((producer, consumer - stride, 1))
+    return edges
+
+
+def loop_ii_lower_bound(
+    body: BasicBlock,
+    machine: MachineDescription,
+    assignment: Optional[Mapping[int, Optional[int]]] = None,
+) -> int:
+    """An independent lower bound on any initiation interval of the loop.
+
+    The larger of: the body size (single issue), per-pipeline enqueue
+    pressure (``users * enqueue_time`` cyclic windows must tile into the
+    II), and the recurrence bound — for every dependence cycle,
+    ``II * sum(distances) >= sum(latencies)``, found here by Bellman–
+    Ford positive-cycle detection at each candidate rather than by the
+    scheduler's Floyd–Warshall search.
+    """
+    sigma, sigma_violations = resolve_sigma(body, machine, assignment)
+    if sigma_violations:
+        raise ValueError(
+            "cannot bound the loop II: "
+            + "; ".join(map(str, sigma_violations))
+        )
+    n = len(body)
+    if n == 0:
+        return 0
+    latency = {
+        i: (_NO_PIPE_DELAY if sigma[i] is None
+            else machine.pipeline(sigma[i]).latency)
+        for i in body.idents
+    }
+    bound = n
+    users: Dict[int, int] = {}
+    for i in body.idents:
+        if sigma[i] is not None:
+            users[sigma[i]] = users.get(sigma[i], 0) + 1
+    for pid, k in users.items():
+        bound = max(bound, k * machine.pipeline(pid).enqueue_time)
+    edges = _loop_dependences(body)
+    while _recurrence_violated(body.idents, edges, latency, bound):
+        bound += 1
+    return bound
+
+
+def _recurrence_violated(
+    idents: Sequence[int],
+    edges: Sequence[Tuple[int, int, int]],
+    latency: Mapping[int, int],
+    ii: int,
+) -> bool:
+    """Bellman–Ford: does some cycle have positive ``lat - II*dist``?"""
+    weight = [
+        (p, c, latency[p] - ii * d) for p, c, d in edges
+    ]
+    dist = {i: 0 for i in idents}
+    for _ in range(len(idents)):
+        changed = False
+        for p, c, w in weight:
+            if dist[p] + w > dist[c]:
+                dist[c] = dist[p] + w
+                changed = True
+        if not changed:
+            return False
+    return any(dist[p] + w > dist[c] for p, c, w in weight)
+
+
+@dataclass(frozen=True)
+class LoopCertificateReport:
+    """Outcome of independently re-checking one claimed modulo schedule."""
+
+    ok: bool
+    violations: Tuple[Violation, ...]
+    ii: int
+    offsets: Mapping[str, int]  # keyed by str(ident) for stable hashing
+    #: This module's own lower bound on any II of the loop.
+    ii_lower_bound: int
+    #: Iterations materialized and replayed through ``check_schedule``.
+    replayed_iterations: int
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"certified: II={self.ii} >= independent bound "
+                f"{self.ii_lower_bound}; {self.replayed_iterations} "
+                "overlapped iterations replayed from the tables"
+            )
+        lines = [f"REJECTED ({len(self.violations)} violation(s)):"]
+        lines += [f"  {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+def check_steady_state(
+    body: BasicBlock,
+    machine: MachineDescription,
+    offsets: Mapping[int, int],
+    ii: int,
+    assignment: Optional[Mapping[int, Optional[int]]] = None,
+    iterations: int = 0,
+) -> LoopCertificateReport:
+    """Certify a claimed modulo schedule ``(offsets, ii)`` of a loop body.
+
+    Re-derives everything from the raw tuples and machine tables —
+    nothing from ``repro.sched`` and nothing from the loop's own derived
+    metadata is trusted:
+
+    1. **structure** — ``ii >= 1``; exactly one non-negative offset per
+       body tuple; offsets pairwise distinct modulo ``ii`` (the machine
+       issues one instruction per tick, so a steady-state window of
+       ``ii`` cycles holds each body tuple exactly once);
+    2. **bound** — ``ii`` is no smaller than this module's own
+       :func:`loop_ii_lower_bound`;
+    3. **dependence spacing** — for every re-derived dependence with
+       iteration distance ``d``: ``offset(consumer) + d*ii >=
+       offset(producer) + latency(producer)``;
+    4. **enqueue windows** — per pipeline, the users' cyclic windows
+       ``[offset mod ii, offset mod ii + enqueue)`` are pairwise
+       disjoint modulo ``ii``;
+    5. **replay** — the issue stream of ``iterations`` overlapped
+       iterations (at least ``stages + 1``, minimum 3) is materialized
+       against an unrolled copy of the body and replayed positionally
+       through :func:`check_schedule`, which re-applies the straight-
+       line rules of sections 2.1/4.2.2 to the exact cycles the modulo
+       schedule claims.
+    """
+    violations: List[Violation] = []
+    idents = body.idents
+    offsets = dict(offsets)
+
+    # 1. Structure.
+    if ii < 1:
+        violations.append(
+            Violation("structure", -1, -1, f"initiation interval {ii} < 1")
+        )
+    if sorted(offsets) != sorted(idents):
+        violations.append(
+            Violation(
+                "structure", -1, -1,
+                f"offsets cover {sorted(offsets)} but the body is "
+                f"{sorted(idents)}",
+            )
+        )
+    else:
+        for z in idents:
+            if offsets[z] < 0:
+                violations.append(
+                    Violation(
+                        "structure", -1, z,
+                        f"tuple {z} has negative offset {offsets[z]}",
+                    )
+                )
+    if violations:
+        return LoopCertificateReport(
+            False, tuple(violations), ii,
+            {str(k): v for k, v in offsets.items()}, -1, 0,
+        )
+
+    slot = {z: offsets[z] % ii for z in idents}
+    by_slot: Dict[int, List[int]] = {}
+    for z in idents:
+        by_slot.setdefault(slot[z], []).append(z)
+    for s, zs in sorted(by_slot.items()):
+        if len(zs) > 1:
+            violations.append(
+                Violation(
+                    "single-issue", -1, zs[1],
+                    f"tuples {zs} all occupy kernel slot {s} "
+                    f"(offsets {[offsets[z] for z in zs]} modulo {ii})",
+                )
+            )
+
+    # 2. The independent lower bound.
+    try:
+        lower = loop_ii_lower_bound(body, machine, assignment)
+    except ValueError as exc:
+        violations.append(Violation("assignment", -1, -1, str(exc)))
+        return LoopCertificateReport(
+            False, tuple(violations), ii,
+            {str(k): v for k, v in offsets.items()}, -1, 0,
+        )
+    if ii < lower:
+        violations.append(
+            Violation(
+                "bound", -1, -1,
+                f"claimed II {ii} is below the independent lower bound "
+                f"{lower}",
+            )
+        )
+
+    # 3. Dependence spacing with iteration distances.
+    sigma, _ = resolve_sigma(body, machine, assignment)
+    latency = {
+        z: (_NO_PIPE_DELAY if sigma[z] is None
+            else machine.pipeline(sigma[z]).latency)
+        for z in idents
+    }
+    for producer, consumer, d in _loop_dependences(body):
+        have = offsets[consumer] + d * ii
+        need = offsets[producer] + latency[producer]
+        if have < need:
+            violations.append(
+                Violation(
+                    "dependence", -1, consumer,
+                    f"tuple {consumer} at offset {offsets[consumer]} "
+                    f"(+{d}*II) starts {need - have} cycle(s) before its "
+                    f"distance-{d} predecessor {producer} completes",
+                )
+            )
+
+    # 4. Cyclic enqueue windows modulo II.
+    by_pipe: Dict[int, List[int]] = {}
+    for z in idents:
+        if sigma[z] is not None:
+            by_pipe.setdefault(sigma[z], []).append(z)
+    for pid, zs in sorted(by_pipe.items()):
+        enqueue = machine.pipeline(pid).enqueue_time
+        ordered = sorted(zs, key=lambda z: slot[z])
+        for a, b in zip(ordered, ordered[1:] + ordered[:1]):
+            gap = (slot[b] - slot[a]) % ii
+            if len(ordered) == 1:
+                gap = ii
+            if gap < enqueue:
+                violations.append(
+                    Violation(
+                        "enqueue", -1, b,
+                        f"pipeline {pid} windows of tuples {a} and {b} "
+                        f"overlap: slots {slot[a]} and {slot[b]} are "
+                        f"{gap} apart modulo {ii} but enqueue takes "
+                        f"{enqueue}",
+                    )
+                )
+
+    if violations:
+        return LoopCertificateReport(
+            False, tuple(violations), ii,
+            {str(k): v for k, v in offsets.items()}, lower, 0,
+        )
+
+    # 5. Replay: materialize the flat stream of K overlapped iterations
+    # and push it through the straight-line certificate at the claimed
+    # cycles.  This is the end-to-end cross-check: the unrolled block's
+    # *own* dependences (including any cross-iteration effect the
+    # distance model might have missed) are re-derived from its tuples.
+    stages = max(offsets[z] // ii for z in idents) + 1
+    k = max(iterations, stages + 1, 3)
+    stride = max(idents)
+    unrolled = _shifted_copy(body, stride, k)
+    entries = sorted(
+        (i * ii + offsets[z], z + i * stride)
+        for i in range(k)
+        for z in idents
+    )
+    order = [ident for _, ident in entries]
+    etas: List[int] = []
+    previous = -1
+    for cycle, _ in entries:
+        etas.append(cycle - previous - 1)
+        previous = cycle
+    replay = check_schedule(
+        unrolled, machine, order, etas,
+        assignment=_replicate_assignment(assignment, idents, stride, k),
+        require_minimal=False,
+    )
+    violations.extend(
+        Violation("replay", v.position, v.ident, v.detail)
+        for v in replay.violations
+    )
+
+    return LoopCertificateReport(
+        ok=not violations,
+        violations=tuple(violations),
+        ii=ii,
+        offsets={str(z): offsets[z] for z in idents},
+        ii_lower_bound=lower,
+        replayed_iterations=k,
+    )
+
+
+def _replicate_assignment(
+    assignment: Optional[Mapping[int, Optional[int]]],
+    idents: Sequence[int],
+    stride: int,
+    copies: int,
+) -> Optional[Mapping[int, Optional[int]]]:
+    if assignment is None:
+        return None
+    out: Dict[int, Optional[int]] = {}
+    for j in range(copies):
+        for z in idents:
+            if z in assignment:
+                out[z + j * stride] = assignment[z]
+    return out
+
+
+# ----------------------------------------------------------------------
+# Independent brute-force minimum II (tiny loops)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BruteForceIIResult:
+    """Ground-truth minimum II from complete slot/stage enumeration."""
+
+    min_ii: int
+    offsets: Mapping[str, int]  # a witness schedule at ``min_ii``
+    candidates_tried: int  # II values examined
+    assignments_tried: int  # complete slot assignments tested
+
+
+def brute_force_min_ii(
+    body: BasicBlock,
+    machine: MachineDescription,
+    assignment: Optional[Mapping[int, Optional[int]]] = None,
+    max_ii: Optional[int] = None,
+) -> BruteForceIIResult:
+    """The definitive minimum initiation interval of a tiny loop body.
+
+    For each candidate ``II`` from :func:`loop_ii_lower_bound` upward,
+    enumerates *every* assignment of kernel slots (distinct modulo
+    ``II``, pipeline windows disjoint), then decides stage feasibility
+    exactly: a slot assignment extends to offsets iff the difference
+    constraints ``stage(w) >= stage(z) + ceil((lat(z) - d*II + slot(z) -
+    slot(w)) / II)`` admit no positive cycle (Bellman–Ford).  The first
+    feasible ``II`` is therefore the true optimum — the oracle's ground
+    truth for ``ModuloScheduleResult.completed`` claims.  Exponential in
+    the body size; intended for bodies of at most ~8 tuples.
+    """
+    n = len(body)
+    if n == 0:
+        raise ValueError("cannot modulo-schedule an empty loop body")
+    sigma, sigma_violations = resolve_sigma(body, machine, assignment)
+    if sigma_violations:
+        raise ValueError(
+            "cannot enumerate kernels: "
+            + "; ".join(map(str, sigma_violations))
+        )
+    idents = list(body.idents)
+    latency = {
+        z: (_NO_PIPE_DELAY if sigma[z] is None
+            else machine.pipeline(sigma[z]).latency)
+        for z in idents
+    }
+    edges = _loop_dependences(body)
+    lower = loop_ii_lower_bound(body, machine, assignment)
+    if max_ii is None:
+        max_ii = lower + sum(latency.values()) + n
+    candidates = 0
+    attempts = [0]
+
+    for ii in range(lower, max_ii + 1):
+        candidates += 1
+        witness = _enumerate_kernel(
+            idents, sigma, latency, edges, machine, ii, attempts
+        )
+        if witness is not None:
+            return BruteForceIIResult(
+                min_ii=ii,
+                offsets={str(z): off for z, off in witness.items()},
+                candidates_tried=candidates,
+                assignments_tried=attempts[0],
+            )
+    raise AssertionError(  # pragma: no cover - max_ii always admits a kernel
+        f"no feasible II up to {max_ii} for {body.name}"
+    )
+
+
+def _enumerate_kernel(
+    idents: Sequence[int],
+    sigma: Mapping[int, Optional[int]],
+    latency: Mapping[int, int],
+    edges: Sequence[Tuple[int, int, int]],
+    machine: MachineDescription,
+    ii: int,
+    attempts: List[int],
+) -> Optional[Dict[int, int]]:
+    """Complete search for offsets feasible at ``ii`` (None if refuted)."""
+    enqueue = {
+        z: (0 if sigma[z] is None
+            else machine.pipeline(sigma[z]).enqueue_time)
+        for z in idents
+    }
+    slots: Dict[int, int] = {}
+    used: set = set()
+    busy: Dict[int, set] = {}
+
+    def stages_feasible() -> Optional[Dict[int, int]]:
+        """Difference constraints on stages: longest-path Bellman–Ford."""
+        attempts[0] += 1
+        stage = {z: 0 for z in idents}
+        for _ in range(len(idents) + 1):
+            changed = False
+            for p, c, d in edges:
+                # offset = stage*ii + slot; the dependence needs
+                # stage(c) >= stage(p) + ceil((lat - d*ii + s(p) - s(c)) / ii)
+                need = -(-(latency[p] - d * ii + slots[p] - slots[c]) // ii)
+                if stage[p] + need > stage[c]:
+                    stage[c] = stage[p] + need
+                    changed = True
+            if not changed:
+                lift = -min(stage.values())
+                return {z: (stage[z] + lift) * ii + slots[z] for z in idents}
+        return None  # positive cycle: no stage assignment exists
+
+    def place(k: int) -> Optional[Dict[int, int]]:
+        if k == len(idents):
+            return stages_feasible()
+        z = idents[k]
+        pid = sigma[z]
+        pipe_busy = busy.setdefault(pid, set()) if pid is not None else None
+        for s in range(ii):
+            if s in used:
+                continue
+            if pid is not None:
+                window = {(s + j) % ii for j in range(enqueue[z])}
+                if len(window) < enqueue[z] or window & pipe_busy:
+                    continue
+            slots[z] = s
+            used.add(s)
+            if pid is not None:
+                pipe_busy.update(window)
+            found = place(k + 1)
+            if found is not None:
+                return found
+            used.discard(s)
+            del slots[z]
+            if pid is not None:
+                pipe_busy.difference_update(window)
+        return None
+
+    return place(0)

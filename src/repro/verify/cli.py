@@ -7,8 +7,13 @@ random block population, or a previously emitted discrepancy report::
     repro-verify --kernels --machines all
     repro-verify --blocks 200 --seed 1990
     repro-verify --optimality --kernels --machines all
+    repro-verify --loops --machines all
     repro-verify --kernels --blocks 50 --machines paper-simulation,scalar
     repro-verify --replay results/discrepancies/fuzz-1990-3-adv-deep-pipe
+
+The ``--loops`` tier runs the loop oracle (modulo scheduler vs list
+steady state vs independent certificate vs brute-force minimum II) over
+every built-in loop kernel on the selected machines.
 
 Exit status is 0 when every check passes and 1 on any discrepancy;
 failures leave replayable reports under ``--out`` (default
@@ -61,6 +66,11 @@ def build_parser(prog: str = "repro-verify") -> argparse.ArgumentParser:
     parser.add_argument(
         "--kernels", action="store_true",
         help="verify every built-in kernel on the selected machines",
+    )
+    parser.add_argument(
+        "--loops", action="store_true",
+        help="verify every built-in loop kernel (modulo scheduling "
+        "oracle) on the selected machines",
     )
     parser.add_argument(
         "--blocks", type=int, default=0, metavar="N",
@@ -120,7 +130,7 @@ def main(argv: Optional[List[str]] = None, prog: str = "repro-verify") -> int:
     except KeyError as exc:
         parser.error(str(exc))
 
-    if not args.kernels and args.blocks <= 0:
+    if not args.kernels and not args.loops and args.blocks <= 0:
         args.kernels = True  # bare `repro-verify` still verifies something
 
     try:
@@ -165,6 +175,23 @@ def _run_checks(
                     if report.report_dir:
                         print(f"  report: {report.report_dir}")
 
+    if args.loops:
+        from .loops import run_loop_suite
+
+        for report in run_loop_suite(
+            machines,
+            options=options,
+            telemetry=telemetry,
+            emit_dir=args.out,
+        ):
+            blocks_checked += 1
+            checks += report.checks_run
+            print(report.summary())
+            if not report.ok:
+                failures += 1
+                if report.report_dir:
+                    print(f"  report: {report.report_dir}")
+
     if args.blocks > 0:
         fuzz = run_fuzz(
             args.blocks,
@@ -197,6 +224,7 @@ def _write_stats(telemetry: Telemetry, args) -> None:
             args.stats_json,
             meta={
                 "kernels": bool(args.kernels),
+                "loops": bool(args.loops),
                 "blocks": args.blocks,
                 "machines": args.machines,
                 "seed": args.seed,

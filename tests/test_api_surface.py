@@ -15,9 +15,11 @@ EXPECTED_SURFACE = sorted(
     [
         # compiling
         "CompilationResult",
+        "LoopCompilation",
         "ProgramCompilation",
         "VerificationError",
         "compile_block",
+        "compile_loop",
         "compile_program",
         "compile_source",
         "verify_compilation",
@@ -26,8 +28,10 @@ EXPECTED_SURFACE = sorted(
         "BasicBlock",
         "DependenceDAG",
         "IRTuple",
+        "LoopBlock",
         "Opcode",
         "format_block",
+        "lower_loop",
         "parse_block",
         "run_block",
         # machines
@@ -45,14 +49,20 @@ EXPECTED_SURFACE = sorted(
         "IlpOptions",
         "IlpSearchResult",
         "InitialConditions",
+        "ModuloScheduleResult",
+        "ScheduleOutcome",
+        "ScheduleRequest",
         "SearchOptions",
         "SearchResult",
         "compute_timing",
         "list_schedule",
+        "min_initiation_interval",
         "schedule_block",
         "schedule_block_ilp",
+        "schedule_loop",
         # verification
         "check_schedule",
+        "check_steady_state",
         # service
         "CacheIntegrityError",
         "CanonicalForm",
@@ -85,11 +95,15 @@ def test_every_name_resolves(name):
 
 def test_facade_agrees_with_submodules():
     # Spot-check that the facade re-exports the real objects, not copies.
-    from repro.sched.search import schedule_block
+    from repro.sched.pipelining import ModuloScheduleResult, schedule_loop
+    from repro.sched.search import ScheduleRequest, schedule_block
     from repro.service.cache import ScheduleCache
 
     assert api.schedule_block is schedule_block
     assert api.ScheduleCache is ScheduleCache
+    assert api.schedule_loop is schedule_loop
+    assert api.ScheduleRequest is ScheduleRequest
+    assert api.ModuloScheduleResult is ModuloScheduleResult
 
 
 def test_star_import_is_bounded():

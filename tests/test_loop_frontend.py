@@ -1,0 +1,165 @@
+"""Loop front end: parse → lower → interpret must equal AST evaluation.
+
+The bounded-loop surface syntax (``for i in 0..N { ... }``) reaches the
+scheduler through two independent semantic paths: the AST reference
+interpreter (:func:`repro.frontend.run_program`) and the lowered
+:class:`~repro.ir.loop.LoopBlock` executed either iteratively
+(:func:`~repro.ir.loop.run_loop`) or as a flat unrolled block.  These
+tests pin the deterministic corners and then let hypothesis generate
+random loops and check all three paths agree on the final memory.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import (
+    ForLoop,
+    ParseError,
+    lower_loop,
+    parse_program,
+    run_program,
+)
+from repro.ir.interp import run_block
+from repro.ir.loop import run_loop
+from repro.synth.loops import LOOP_KERNELS
+
+VARS = ("a", "b", "c", "d")
+
+
+# ---------------------------------------------------------------------------
+# Deterministic corners
+# ---------------------------------------------------------------------------
+
+
+def test_parse_loop_shape():
+    prog = parse_program("for i in 0..8 { p = a * b; a = a + b; }")
+    assert prog.has_loops
+    (stmt,) = prog.statements
+    assert isinstance(stmt, ForLoop)
+    assert stmt.var == "i"
+    assert stmt.start == 0
+    assert stmt.stop == 8
+    assert len(stmt.body) == 2
+
+
+def test_parse_symbolic_bound():
+    prog = parse_program("for i in 0..n { a = a + 1; }")
+    (stmt,) = prog.statements
+    assert stmt.stop == "n"
+    loop = lower_loop(stmt)
+    assert loop.trip_count({"n": 5}) == 5
+    with pytest.raises((KeyError, ValueError, TypeError)):
+        loop.trip_count({})
+
+
+def test_nested_loops_rejected():
+    with pytest.raises(ParseError):
+        parse_program("for i in 0..4 { for j in 0..2 { a = a + 1; } }")
+
+
+def test_zero_trip_loop_is_identity():
+    prog = parse_program("for i in 3..3 { a = a + 1; }")
+    assert run_program(prog, {"a": 5}) == {"a": 5}
+    loop = lower_loop(prog.statements[0])
+    assert dict(run_loop(loop, memory={"a": 5})) == {"a": 5}
+
+
+def test_loop_var_is_scoped():
+    prog = parse_program("for i in 1..5 { s = s + i; }")
+    loop = lower_loop(prog.statements[0])
+    assert loop.loop_var == "i"
+    final = run_loop(loop, memory={"s": 0, "i": 99})
+    # 1 + 2 + 3 + 4, and the outer binding of ``i`` survives the loop.
+    assert final["s"] == 10
+    assert final["i"] == 99
+
+
+def test_unused_loop_var_is_dropped():
+    prog = parse_program("for i in 0..4 { a = a + b; }")
+    loop = lower_loop(prog.statements[0])
+    assert loop.loop_var is None
+
+
+def test_carried_dependences_exist_for_recurrence():
+    prog = parse_program("for i in 0..6 { s = s + x; x = x * r; }")
+    loop = lower_loop(prog.statements[0])
+    assert loop.carried, "a recurrence must produce loop-carried edges"
+    assert all(d.distance >= 1 for d in loop.carried)
+
+
+@pytest.mark.parametrize("kernel", LOOP_KERNELS, ids=lambda k: k.name)
+def test_builtin_kernels_round_trip(kernel):
+    prog = parse_program(kernel.source)
+    loop = kernel.lower()
+    trips = loop.trip_count(kernel.memory)
+    ref = dict(run_program(prog, kernel.memory))
+    got = dict(run_loop(loop, memory=dict(kernel.memory)))
+    assert ref == got
+    # And the flat unrolled block, executed sequentially, agrees too.
+    memory = dict(kernel.memory)
+    if loop.loop_var is not None:
+        memory[loop.loop_var] = loop.start
+    flat = dict(run_block(loop.unrolled(trips), memory=memory).memory)
+    if loop.loop_var is not None:
+        flat.pop(loop.loop_var, None)
+        ref.pop(loop.loop_var, None)
+    assert ref == flat
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: random loops, three execution paths, one answer
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def loop_sources(draw):
+    """Random single-loop programs over + - * (no division: the paths
+    would only diverge on who raises ZeroDivisionError first)."""
+
+    def expr(depth: int) -> str:
+        leaves = [draw(st.sampled_from(VARS)), str(draw(st.integers(-9, 9)))]
+        leaves.append("i")
+        if depth <= 0:
+            return draw(st.sampled_from(leaves))
+        kind = draw(st.sampled_from(("leaf", "unary", "binary")))
+        if kind == "leaf":
+            return draw(st.sampled_from(leaves))
+        if kind == "unary":
+            return f"-({expr(depth - 1)})"
+        op = draw(st.sampled_from(("+", "-", "*")))
+        return f"({expr(depth - 1)} {op} {expr(depth - 1)})"
+
+    start = draw(st.integers(0, 3))
+    trips = draw(st.integers(1, 5))
+    n_stmts = draw(st.integers(1, 4))
+    body = " ".join(
+        f"{draw(st.sampled_from(VARS))} = {expr(draw(st.integers(0, 2)))};"
+        for _ in range(n_stmts)
+    )
+    return f"for i in {start}..{start + trips} {{ {body} }}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(source=loop_sources(), seed=st.integers(0, 2**16))
+def test_round_trip_random(source, seed):
+    prog = parse_program(source)
+    (stmt,) = prog.statements
+    memory = {v: (seed >> k) % 13 - 6 for k, v in enumerate(VARS)}
+
+    ref = dict(run_program(prog, memory))
+    loop = lower_loop(stmt, name="hypo")
+    got = dict(run_loop(loop, memory=dict(memory)))
+    assert ref == got, source
+
+    trips = loop.trip_count(memory)
+    flat_mem = dict(memory)
+    if loop.loop_var is not None:
+        flat_mem[loop.loop_var] = loop.start
+    flat = dict(run_block(loop.unrolled(trips), memory=flat_mem).memory)
+    if loop.loop_var is not None:
+        flat.pop(loop.loop_var, None)
+        ref.pop(loop.loop_var, None)
+    assert ref == flat, source
